@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses.
+ *
+ * Each harness binary regenerates one table or figure from the paper's
+ * evaluation (Section 5), printing the same rows/series the paper
+ * reports plus the paper's reference numbers where applicable. The
+ * dynamic instruction budget per run honors ICFP_BENCH_INSTS.
+ */
+
+#ifndef ICFP_BENCH_BENCH_UTIL_HH
+#define ICFP_BENCH_BENCH_UTIL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace icfp {
+namespace bench {
+
+/** Cached traces so multiple configs reuse one golden execution. */
+class TraceCache
+{
+  public:
+    explicit TraceCache(uint64_t insts) : insts_(insts) {}
+
+    const Trace &
+    get(const std::string &name)
+    {
+        auto it = traces_.find(name);
+        if (it == traces_.end()) {
+            it = traces_
+                     .emplace(name,
+                              makeBenchTrace(findBenchmark(name), insts_))
+                     .first;
+        }
+        return it->second;
+    }
+
+    uint64_t insts() const { return insts_; }
+
+  private:
+    uint64_t insts_;
+    std::map<std::string, Trace> traces_;
+};
+
+/** Names of the full suite, fp first (paper order). */
+inline std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkSpec &spec : spec2000Suite())
+        names.push_back(spec.name);
+    return names;
+}
+
+/** Geometric-mean speedup in percent from per-benchmark cycle ratios. */
+inline double
+geomeanSpeedupPct(const std::vector<double> &ratios)
+{
+    return 100.0 * (geomean(ratios) - 1.0);
+}
+
+} // namespace bench
+} // namespace icfp
+
+#endif // ICFP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * chained store buffer lookups, cache accesses, the PPM predictor, the
+ * golden interpreter, and end-to-end core-model throughput (simulated
+ * instructions per wall-clock second). These gate simulator performance
+ * regressions rather than reproducing a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/ppm_predictor.hh"
+#include "common/rng.hh"
+#include "icfp/chained_store_buffer.hh"
+#include "mem/cache.hh"
+#include "sim/simulator.hh"
+
+namespace icfp {
+namespace {
+
+void
+BM_ChainedSbLookup(benchmark::State &state)
+{
+    ChainedSbParams params;
+    ChainedStoreBuffer sb(params);
+    Rng rng(1);
+    SeqNum seq = 1;
+    for (int i = 0; i < 100; ++i)
+        sb.allocate(rng.below(1024) * 8, rng.next(), 0, seq++);
+    for (auto _ : state) {
+        const SbLookupResult r =
+            sb.lookup(rng.below(1024) * 8, seq, nullptr);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ChainedSbLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{});
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 16) * 8;
+        const CacheAccessResult r = cache.access(addr, ++now, false);
+        if (r.outcome == CacheOutcome::Miss)
+            cache.fill(addr, now + 20, now);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PpmPredict(benchmark::State &state)
+{
+    PpmPredictor pred;
+    Rng rng(3);
+    uint64_t pc = 0x100;
+    for (auto _ : state) {
+        const bool guess = pred.predict(pc);
+        pred.update(pc, rng.chance(0.6), guess);
+        pc = 0x100 + rng.below(64) * 4;
+        benchmark::DoNotOptimize(guess);
+    }
+}
+BENCHMARK(BM_PpmPredict);
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    const BenchmarkSpec &spec = findBenchmark("gzip");
+    const Program program = buildWorkload(spec.workload);
+    for (auto _ : state) {
+        const Trace trace = Interpreter::run(program, 10000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_Interpreter);
+
+void
+coreThroughput(benchmark::State &state, CoreKind kind)
+{
+    SimConfig cfg;
+    const Trace trace = makeBenchTrace(findBenchmark("equake"), 20000);
+    for (auto _ : state) {
+        const RunResult r = simulate(kind, cfg, trace);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace.size()));
+}
+
+void
+BM_SimInOrder(benchmark::State &state)
+{
+    coreThroughput(state, CoreKind::InOrder);
+}
+BENCHMARK(BM_SimInOrder);
+
+void
+BM_SimICfp(benchmark::State &state)
+{
+    coreThroughput(state, CoreKind::ICfp);
+}
+BENCHMARK(BM_SimICfp);
+
+void
+BM_SimRunahead(benchmark::State &state)
+{
+    coreThroughput(state, CoreKind::Runahead);
+}
+BENCHMARK(BM_SimRunahead);
+
+} // namespace
+} // namespace icfp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multiprocessor-safety ablation (Section 3.3): signature size versus
+ * spurious-squash cost under synthetic external-store traffic.
+ *
+ * The paper's signature is sized so that false positives (conflict
+ * squashes for addresses the thread never loaded) are rare. This harness
+ * injects external stores at several rates, with addresses disjoint from
+ * the workload's read set, so every squash it reports is a false
+ * positive: the cost of an undersized signature is then directly visible
+ * as slowdown versus the no-traffic run.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace icfp;
+using namespace icfp::bench;
+
+namespace {
+
+/** External stores at @p period cycles, walking a disjoint window. */
+std::vector<std::pair<Cycle, Addr>>
+externalTraffic(Cycle period, Cycle horizon)
+{
+    std::vector<std::pair<Cycle, Addr>> stores;
+    // Workload data segments are wrapped power-of-two regions; keep the
+    // probe addresses in a high window that synthetic analogs never
+    // load, so real conflicts cannot occur.
+    Addr addr = 0x7f00'0000'0000;
+    for (Cycle c = period; c < horizon; c += period) {
+        stores.push_back({c, addr});
+        addr += 8;
+    }
+    return stores;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t insts = benchInstBudget();
+    TraceCache traces(insts);
+
+    const std::vector<unsigned> sig_bits = {64, 256, 1024, 4096};
+    const std::vector<Cycle> periods = {1000, 100, 10};
+    const std::vector<std::string> benches = {"mcf", "equake", "applu",
+                                              "vpr"};
+
+    Table table("MP safety: false-squash cost vs signature size "
+                "(% slowdown vs no external traffic; squashes)");
+    std::vector<std::string> cols = {"bench / stores-per-cycle"};
+    for (unsigned bits : sig_bits)
+        cols.push_back(std::to_string(bits) + "b %");
+    table.setColumns(cols);
+
+    Table squashes("MP safety: false squashes per 1000 external probes");
+    squashes.setColumns(cols);
+
+    for (const std::string &name : benches) {
+        const Trace &trace = traces.get(name);
+        SimConfig cfg;
+        const RunResult quiet = simulate(CoreKind::ICfp, cfg, trace);
+        // Traffic horizon: generously past the quiet-run cycle count.
+        const Cycle horizon = quiet.cycles * 2;
+
+        for (Cycle period : periods) {
+            std::vector<double> slow_row;
+            std::vector<double> squash_row;
+            for (unsigned bits : sig_bits) {
+                SimConfig c = cfg;
+                c.icfp.signatureBits = bits;
+                c.icfp.externalStores = externalTraffic(period, horizon);
+                const RunResult r = simulate(CoreKind::ICfp, c, trace);
+                slow_row.push_back(100.0 * (double(r.cycles) /
+                                                double(quiet.cycles) -
+                                            1.0));
+                const double probes =
+                    double(c.icfp.externalStores.size());
+                squash_row.push_back(1000.0 * double(r.squashes) /
+                                     probes);
+            }
+            const std::string label =
+                name + " 1/" + std::to_string(period);
+            table.addRow(label, slow_row, 2);
+            squashes.addRow(label, squash_row, 1);
+        }
+    }
+    table.addNote("All injected addresses are outside the workload's read"
+                  " set, so every squash is a false positive.");
+    table.addNote("Streaming codes (applu, equake): cost falls to ~0 as"
+                  " the signature grows.");
+    table.addNote("Pointer-chase codes (mcf, vpr): advance epochs span"
+                  " thousands of vulnerable loads, saturating any");
+    table.addNote("practical signature — but an early squash is cheap,"
+                  " so the realized cost stays bounded.");
+    table.print();
+    std::printf("\n");
+    squashes.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 2: benchmark characterization and iCFP diagnostics — data cache
+ * and L2 misses per 1000 instructions, D$/L2 MLP for in-order, Runahead,
+ * and iCFP, and iCFP slice instructions re-executed per 1000 instructions
+ * (Rally/KI).
+ */
+
+#include "bench_util.hh"
+
+using namespace icfp;
+using namespace icfp::bench;
+
+int
+main()
+{
+    const uint64_t insts = benchInstBudget();
+    TraceCache traces(insts);
+    SimConfig cfg;
+
+    Table table("Table 2: iCFP diagnostics (paper reference values in "
+                "parentheses columns)");
+    table.setColumns({"bench", "D$/KI", "(ppr)", "L2/KI", "(ppr)",
+                      "D$MLP iO", "D$MLP RA", "D$MLP iCFP", "L2MLP iO",
+                      "L2MLP RA", "L2MLP iCFP", "Rally/KI"});
+
+    for (const BenchmarkSpec &spec : spec2000Suite()) {
+        const Trace &trace = traces.get(spec.name);
+        const RunResult io = simulate(CoreKind::InOrder, cfg, trace);
+        const RunResult ra = simulate(CoreKind::Runahead, cfg, trace);
+        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+
+        table.addRow(spec.name,
+                     {io.missPerKi(io.mem.dcacheMisses),
+                      spec.paperDcacheMissKi,
+                      io.missPerKi(io.mem.l2Misses), spec.paperL2MissKi,
+                      io.dcacheMlp, ra.dcacheMlp, ic.dcacheMlp, io.l2Mlp,
+                      ra.l2Mlp, ic.l2Mlp, ic.rallyPerKi()},
+                     1);
+    }
+
+    table.addNote("");
+    table.addNote("Expected shape (paper Table 2): iCFP MLP >= RA MLP >= "
+                  "in-order MLP nearly everywhere;");
+    table.addNote("Rally/KI large for dependent-miss codes (paper: mcf "
+                  "2876, ammp 428, twolf 224, vpr 187).");
+    table.print();
+    return 0;
+}

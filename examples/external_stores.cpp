@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multiprocessor safety (Section 3.3): what happens when other threads
+ * write memory while iCFP is speculating past a checkpoint.
+ *
+ * iCFP keeps an address signature of "vulnerable" loads (those that read
+ * the cache during an advance epoch). External stores probe it; a hit
+ * squashes to the checkpoint, discarding the advance work that might
+ * have consumed a stale value. This example injects bursts of external
+ * stores at increasing rates and shows the squash count and cost —
+ * correctness is implicit, since the model verifies final architectural
+ * state against the golden trace on every run.
+ *
+ *   $ ./build/examples/external_stores
+ */
+
+#include <cstdio>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+using namespace icfp;
+
+int
+main()
+{
+    const Trace trace = makeBenchTrace(findBenchmark("equake"), 60000);
+
+    SimConfig cfg;
+    const RunResult quiet = simulate(CoreKind::ICfp, cfg, trace);
+    std::printf("quiet run: %lu cycles, IPC %.2f\n\n",
+                static_cast<unsigned long>(quiet.cycles), quiet.ipc());
+
+    Table table("External-store traffic vs iCFP (equake analog)");
+    table.setColumns({"store period (cyc)", "squashes", "slowdown %"});
+
+    for (const Cycle period : {2000u, 500u, 100u, 20u}) {
+        SimConfig c = cfg;
+        // External stores sweep a window of the segment the workload
+        // also touches, so some probes are genuine conflicts and others
+        // are signature false positives — both squash, conservatively.
+        Addr addr = 0;
+        for (Cycle t = period; t < quiet.cycles * 2; t += period) {
+            c.icfp.externalStores.push_back({t, addr});
+            addr = (addr + 4096) & 0xffffff;
+        }
+        const RunResult r = simulate(CoreKind::ICfp, c, trace);
+        table.addRow(std::to_string(period),
+                     {double(r.squashes),
+                      100.0 * (double(r.cycles) / double(quiet.cycles) -
+                               1.0)},
+                     1);
+    }
+    table.addNote("");
+    table.addNote("Squashes discard advance work but never corrupt "
+                  "state: every run re-verifies final registers and "
+                  "memory against the golden interpreter.");
+    table.print();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Streaming scenario (the swim/applu workloads): independent misses with
+ * a hardware stream prefetcher. Shows (a) how much the prefetcher covers
+ * by itself, and (b) what iCFP adds on top by tolerating the remaining
+ * data-cache misses.
+ *
+ *   $ ./build/examples/streaming
+ */
+
+#include <cstdio>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+using namespace icfp;
+
+int
+main()
+{
+    const Trace trace = makeBenchTrace(findBenchmark("swim"), 100000);
+
+    Table table("swim analog: streaming with stream-buffer prefetching");
+    table.setColumns({"configuration", "cycles", "IPC", "L2 miss/KI",
+                      "pf hits"});
+
+    auto run = [&](const char *label, CoreKind kind, bool prefetch) {
+        SimConfig cfg;
+        cfg.mem.prefetcher.enabled = prefetch;
+        const RunResult r = simulate(kind, cfg, trace);
+        table.addRow(label,
+                     {double(r.cycles), r.ipc(),
+                      r.missPerKi(r.mem.l2Misses),
+                      double(r.mem.prefetchHits)},
+                     2);
+        return r;
+    };
+
+    run("in-order, no prefetch", CoreKind::InOrder, false);
+    run("in-order + prefetch", CoreKind::InOrder, true);
+    run("iCFP, no prefetch", CoreKind::ICfp, false);
+    run("iCFP + prefetch", CoreKind::ICfp, true);
+
+    table.addNote("");
+    table.addNote("The paper's baseline includes stream-buffer "
+                  "prefetching (Table 1): prefetching removes most L2 "
+                  "misses on streams, and iCFP then hides the remaining "
+                  "data-cache misses the prefetcher cannot.");
+    table.print();
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "area/area_model.hh"
+
+namespace icfp {
+
+namespace {
+
+/** Width of an address tag in the modeled structures. */
+constexpr unsigned kTagBits = 38;
+/** Architectural data word. */
+constexpr unsigned kDataBits = 64;
+/** Slice-buffer entry: opcode/regs + two captured 64-bit side inputs +
+ *  sequence number + poison vector + bookkeeping. */
+constexpr unsigned kSliceEntryBits = 200;
+
+} // namespace
+
+AreaModel::AreaModel(const AreaParams &params, const AreaConfig &config)
+    : params_(params),
+      config_(config)
+{
+}
+
+double
+AreaModel::sramArrayUm2(uint64_t entries, unsigned bits_per_entry,
+                        unsigned ports) const
+{
+    const double bits = static_cast<double>(entries) * bits_per_entry;
+    const double port_mult = 1.0 + params_.portFactor * (ports - 1);
+    return bits * params_.sramBitUm2 * port_mult +
+           params_.structureOverheadUm2;
+}
+
+double
+AreaModel::camArrayUm2(uint64_t entries, unsigned cam_bits,
+                       unsigned payload_bits, unsigned search_ports) const
+{
+    const double port_mult = 1.0 + params_.portFactor * (search_ports - 1);
+    const double cam_area = static_cast<double>(entries) * cam_bits *
+                            params_.camBitUm2 * port_mult;
+    const double payload_area = static_cast<double>(entries) *
+                                payload_bits * params_.sramBitUm2;
+    return cam_area + payload_area + params_.structureOverheadUm2;
+}
+
+double
+AreaModel::checkpointUm2(unsigned copies) const
+{
+    return static_cast<double>(config_.numRegs) * config_.regBits * copies *
+           params_.shadowBitUm2;
+}
+
+AreaBreakdown
+AreaModel::runahead() const
+{
+    AreaBreakdown b;
+    b.scheme = "runahead";
+    b.components.push_back(
+        {"poison bits", static_cast<double>(config_.numRegs) * 1 *
+                            params_.sramBitUm2 * 8});
+    b.components.push_back(
+        {"runahead cache",
+         sramArrayUm2(config_.runaheadCacheEntries,
+                      kTagBits + kDataBits + 2)});
+    b.components.push_back({"register checkpoint", checkpointUm2(1)});
+    return b;
+}
+
+AreaBreakdown
+AreaModel::multipass() const
+{
+    AreaBreakdown b;
+    b.scheme = "multipass";
+    b.components.push_back(
+        {"poison bits", static_cast<double>(config_.numRegs) * 1 *
+                            params_.sramBitUm2 * 8});
+    b.components.push_back(
+        {"result buffer",
+         sramArrayUm2(config_.resultBufferEntries, kDataBits + 8)});
+    b.components.push_back(
+        {"forwarding cache",
+         sramArrayUm2(config_.forwardCacheEntries,
+                      kTagBits + kDataBits + 2)});
+    b.components.push_back(
+        {"load disambiguation unit",
+         camArrayUm2(config_.forwardCacheEntries, kTagBits, 12)});
+    b.components.push_back({"register checkpoint", checkpointUm2(1)});
+    return b;
+}
+
+AreaBreakdown
+AreaModel::sltp() const
+{
+    AreaBreakdown b;
+    b.scheme = "sltp";
+    b.components.push_back(
+        {"poison bits", static_cast<double>(config_.numRegs) * 1 *
+                            params_.sramBitUm2 * 8});
+    b.components.push_back(
+        {"SRL", sramArrayUm2(config_.srlEntries,
+                             kTagBits + kDataBits + 2)});
+    b.components.push_back(
+        {"slice buffer",
+         sramArrayUm2(config_.sliceEntries, kSliceEntryBits)});
+    b.components.push_back(
+        {"load queue (associative)",
+         camArrayUm2(config_.loadQueueEntries, kTagBits, 10,
+                     /*search_ports=*/2)});
+    b.components.push_back({"register checkpoints (2)", checkpointUm2(2)});
+    return b;
+}
+
+AreaBreakdown
+AreaModel::icfp() const
+{
+    AreaBreakdown b;
+    b.scheme = "icfp";
+    b.components.push_back(
+        {"poison vectors",
+         static_cast<double>(config_.numRegs) * config_.poisonBits * 2 *
+             params_.sramBitUm2 * 8});
+    b.components.push_back(
+        {"sequence numbers",
+         static_cast<double>(config_.numRegs) * config_.seqNumBits * 2 *
+             params_.sramBitUm2 * 8});
+    b.components.push_back(
+        {"chained store buffer",
+         sramArrayUm2(config_.storeBufferEntries,
+                      kTagBits + kDataBits + config_.poisonBits + 16 +
+                          config_.seqNumBits)});
+    b.components.push_back(
+        {"chain table",
+         sramArrayUm2(config_.chainTableEntries, 16)});
+    b.components.push_back(
+        {"slice buffer",
+         sramArrayUm2(config_.sliceEntries, kSliceEntryBits)});
+    b.components.push_back(
+        {"signature",
+         static_cast<double>(config_.signatureBits) * params_.sramBitUm2 +
+             5000.0});
+    b.components.push_back({"register checkpoint", checkpointUm2(1)});
+    // The scratch register file is not counted: it is the second thread
+    // context the multithreaded core already has (Section 5.3).
+    return b;
+}
+
+} // namespace icfp

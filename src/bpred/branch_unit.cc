@@ -1,0 +1,134 @@
+#include "bpred/branch_unit.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+BranchUnit::BranchUnit(const BranchUnitParams &params)
+    : params_(params),
+      direction_(params.ppm),
+      btb_(1u << params.btbEntriesLog2),
+      ras_(params.rasEntries, 0)
+{
+}
+
+unsigned
+BranchUnit::btbIndex(uint64_t pc) const
+{
+    return static_cast<unsigned>((pc ^ (pc >> params_.btbEntriesLog2)) &
+                                 ((1ull << params_.btbEntriesLog2) - 1));
+}
+
+bool
+BranchUnit::btbLookup(uint64_t pc, uint32_t *target) const
+{
+    const BtbEntry &entry = btb_[btbIndex(pc)];
+    if (entry.valid && entry.tag == pc) {
+        *target = entry.target;
+        return true;
+    }
+    return false;
+}
+
+void
+BranchUnit::btbInsert(uint64_t pc, uint32_t target)
+{
+    BtbEntry &entry = btb_[btbIndex(pc)];
+    entry.valid = true;
+    entry.tag = pc;
+    entry.target = target;
+}
+
+BranchPrediction
+BranchUnit::predict(const DynInst &di)
+{
+    BranchPrediction pred;
+    const uint64_t pc = di.pc;
+
+    switch (di.op) {
+      case Opcode::Jmp:
+        pred.predTaken = true;
+        if (!btbLookup(pc, &pred.predNextPc)) {
+            ++stats_.btbMisses;
+            pred.predNextPc = pc + 1; // fetch falls through until resolve
+        }
+        break;
+      case Opcode::Call:
+        pred.predTaken = true;
+        if (rasTop_ < params_.rasEntries) {
+            ras_[rasTop_++] = di.pc + 1;
+        } else {
+            // Stack overflow: wrap (oldest entry lost).
+            for (unsigned i = 1; i < params_.rasEntries; ++i)
+                ras_[i - 1] = ras_[i];
+            ras_[params_.rasEntries - 1] = di.pc + 1;
+        }
+        if (!btbLookup(pc, &pred.predNextPc)) {
+            ++stats_.btbMisses;
+            pred.predNextPc = pc + 1;
+        }
+        break;
+      case Opcode::Ret:
+        pred.predTaken = true;
+        if (rasTop_ > 0) {
+            pred.predNextPc = ras_[--rasTop_];
+        } else {
+            pred.predNextPc = pc + 1;
+        }
+        break;
+      default: { // conditional branches
+        ICFP_ASSERT(di.isCondBranch());
+        pred.predTaken = direction_.predict(pc);
+        uint32_t target;
+        if (pred.predTaken) {
+            if (btbLookup(pc, &target)) {
+                pred.predNextPc = target;
+            } else {
+                ++stats_.btbMisses;
+                pred.predNextPc = pc + 1; // taken but no target: fall thru
+            }
+        } else {
+            pred.predNextPc = pc + 1;
+        }
+        break;
+      }
+    }
+    return pred;
+}
+
+bool
+BranchUnit::resolve(const DynInst &di, const BranchPrediction &pred)
+{
+    const bool correct = pred.predNextPc == di.nextPc;
+
+    switch (di.op) {
+      case Opcode::Jmp:
+      case Opcode::Call:
+        direction_.updateHistoryOnly(true);
+        btbInsert(di.pc, di.nextPc);
+        break;
+      case Opcode::Ret:
+        direction_.updateHistoryOnly(true);
+        if (!correct)
+            ++stats_.indirectMispredicts;
+        break;
+      default:
+        ICFP_ASSERT(di.isCondBranch());
+        ++stats_.condBranches;
+        direction_.update(di.pc, di.taken, pred.predTaken);
+        if (di.taken)
+            btbInsert(di.pc, di.nextPc);
+        if (!correct)
+            ++stats_.condMispredicts;
+        break;
+    }
+    return correct;
+}
+
+void
+BranchUnit::squashRas()
+{
+    rasTop_ = 0;
+}
+
+} // namespace icfp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Front-end control-flow prediction: PPM direction predictor + 2K-entry
+ * branch target buffer + 32-entry return address stack (Table 1).
+ *
+ * The BranchUnit exposes a single predict-then-resolve interface used by
+ * all timing cores. predict() is called at fetch of a control instruction
+ * and returns the predicted next pc; resolve() is called when the
+ * instruction executes (or, for poisoned branches in iCFP advance mode,
+ * when the slice re-executes) and trains the structures.
+ */
+
+#ifndef ICFP_BPRED_BRANCH_UNIT_HH
+#define ICFP_BPRED_BRANCH_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/ppm_predictor.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/interpreter.hh"
+
+namespace icfp {
+
+/** Configuration for the BranchUnit. */
+struct BranchUnitParams
+{
+    PpmParams ppm;
+    unsigned btbEntriesLog2 = 11; ///< 2K-entry target buffer
+    unsigned rasEntries = 32;     ///< return address stack depth
+};
+
+/** Outcome of a front-end prediction. */
+struct BranchPrediction
+{
+    bool predTaken = false;
+    uint32_t predNextPc = 0;
+};
+
+/** Running accuracy counters. */
+struct BranchStats
+{
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t btbMisses = 0;
+};
+
+/** Combined direction/target/return predictor. */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchUnitParams &params = BranchUnitParams{});
+
+    /**
+     * Predict the next pc for the control instruction @p di at fetch.
+     * Speculatively pushes/pops the RAS for Call/Ret.
+     */
+    BranchPrediction predict(const DynInst &di);
+
+    /**
+     * Train with the resolved outcome.
+     *
+     * @param di the resolved dynamic instruction (actual outcome inside)
+     * @param pred what predict() returned for it
+     * @return true iff the prediction was correct
+     */
+    bool resolve(const DynInst &di, const BranchPrediction &pred);
+
+    const BranchStats &stats() const { return stats_; }
+
+    /** Squash recovery: discard speculative RAS state. (The RAS here is
+     *  checkpoint-repaired by simply invalidating, a conservative model.) */
+    void squashRas();
+
+  private:
+    struct BtbEntry
+    {
+        uint64_t tag = 0;
+        uint32_t target = 0;
+        bool valid = false;
+    };
+
+    unsigned btbIndex(uint64_t pc) const;
+    bool btbLookup(uint64_t pc, uint32_t *target) const;
+    void btbInsert(uint64_t pc, uint32_t target);
+
+    BranchUnitParams params_;
+    PpmPredictor direction_;
+    std::vector<BtbEntry> btb_;
+    std::vector<uint32_t> ras_;
+    unsigned rasTop_ = 0;   ///< index one past the top of stack
+    BranchStats stats_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_BPRED_BRANCH_UNIT_HH

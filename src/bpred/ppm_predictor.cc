@@ -1,0 +1,142 @@
+#include "bpred/ppm_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+namespace {
+
+/** Mix a pc with folded history bits. */
+uint64_t
+foldHistory(uint64_t history, unsigned hist_len, unsigned out_bits)
+{
+    const uint64_t hist =
+        hist_len >= 64 ? history : (history & ((1ull << hist_len) - 1));
+    uint64_t folded = 0;
+    uint64_t h = hist;
+    const uint64_t mask = (1ull << out_bits) - 1;
+    while (h != 0) {
+        folded ^= h & mask;
+        h >>= out_bits;
+    }
+    return folded;
+}
+
+} // namespace
+
+PpmPredictor::PpmPredictor(const PpmParams &params)
+    : params_(params),
+      base_(1u << params.baseEntriesLog2, 2), // 2 = weakly not-taken/taken
+      table1_(1u << params.taggedEntriesLog2),
+      table2_(1u << params.taggedEntriesLog2)
+{
+}
+
+unsigned
+PpmPredictor::baseIndex(uint64_t pc) const
+{
+    return static_cast<unsigned>(pc & ((1ull << params_.baseEntriesLog2) - 1));
+}
+
+unsigned
+PpmPredictor::taggedIndex(uint64_t pc, unsigned hist_len) const
+{
+    const unsigned bits = params_.taggedEntriesLog2;
+    const uint64_t folded = foldHistory(history_, hist_len, bits);
+    return static_cast<unsigned>((pc ^ (pc >> bits) ^ folded) &
+                                 ((1ull << bits) - 1));
+}
+
+uint16_t
+PpmPredictor::taggedTag(uint64_t pc, unsigned hist_len) const
+{
+    const unsigned bits = params_.tagBits;
+    const uint64_t folded = foldHistory(history_ * 0x9e3779b9u, hist_len,
+                                        bits);
+    return static_cast<uint16_t>((pc ^ (pc >> 7) ^ folded) &
+                                 ((1ull << bits) - 1));
+}
+
+int
+PpmPredictor::provider(uint64_t pc, unsigned *index_out, bool *pred_out) const
+{
+    const unsigned i2 = taggedIndex(pc, params_.historyLen2);
+    if (table2_[i2].valid && table2_[i2].tag == taggedTag(pc, params_.historyLen2)) {
+        *index_out = i2;
+        *pred_out = table2_[i2].ctr >= 4;
+        return 2;
+    }
+    const unsigned i1 = taggedIndex(pc, params_.historyLen1);
+    if (table1_[i1].valid && table1_[i1].tag == taggedTag(pc, params_.historyLen1)) {
+        *index_out = i1;
+        *pred_out = table1_[i1].ctr >= 4;
+        return 1;
+    }
+    const unsigned i0 = baseIndex(pc);
+    *index_out = i0;
+    *pred_out = base_[i0] >= 2;
+    return 0;
+}
+
+bool
+PpmPredictor::predict(uint64_t pc) const
+{
+    unsigned index;
+    bool pred;
+    provider(pc, &index, &pred);
+    return pred;
+}
+
+void
+PpmPredictor::update(uint64_t pc, bool taken, bool predicted)
+{
+    unsigned index;
+    bool pred;
+    const int prov = provider(pc, &index, &pred);
+
+    // Train the provider.
+    if (prov == 0) {
+        uint8_t &ctr = base_[index];
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+    } else {
+        TaggedEntry &entry = prov == 1 ? table1_[index] : table2_[index];
+        if (taken && entry.ctr < 7)
+            ++entry.ctr;
+        else if (!taken && entry.ctr > 0)
+            --entry.ctr;
+        if (pred == taken)
+            entry.useful = true;
+    }
+
+    // PPM allocation: on a mispredict, allocate an entry in the next
+    // longer-history table (if any), seeded weakly toward the outcome.
+    if (predicted != taken && prov < 2) {
+        const unsigned hist_len =
+            prov == 0 ? params_.historyLen1 : params_.historyLen2;
+        auto &table = prov == 0 ? table1_ : table2_;
+        const unsigned idx = taggedIndex(pc, hist_len);
+        TaggedEntry &victim = table[idx];
+        if (!victim.valid || !victim.useful) {
+            victim.valid = true;
+            victim.tag = taggedTag(pc, hist_len);
+            victim.ctr = taken ? 4 : 3;
+            victim.useful = false;
+        } else {
+            // Decay so the entry can eventually be replaced.
+            victim.useful = false;
+        }
+    }
+
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+PpmPredictor::updateHistoryOnly(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace icfp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * PPM-like tag-based conditional branch direction predictor.
+ *
+ * Table 1 of the paper specifies a "24 Kbyte 3-table PPM direction
+ * predictor [Michaud, JILP 2005]". This implements that organization: a
+ * tagless bimodal base table plus two partially-tagged tables indexed with
+ * increasingly long global-history hashes. Prediction comes from the
+ * longest-history matching table; allocation on mispredict follows the PPM
+ * policy (allocate in the next-longer table).
+ *
+ * Storage budget (default parameters):
+ *   base:  8K x 2b                       =  2 KB
+ *   t1:    4K x (3b ctr + 10b tag + 1b u) =  7 KB
+ *   t2:    4K x (3b ctr + 10b tag + 1b u) =  7 KB
+ *   history + misc                        <  1 KB
+ * comfortably inside the 24 KB budget.
+ */
+
+#ifndef ICFP_BPRED_PPM_PREDICTOR_HH
+#define ICFP_BPRED_PPM_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Configuration for PpmPredictor. */
+struct PpmParams
+{
+    unsigned baseEntriesLog2 = 13; ///< 8K-entry bimodal base table
+    unsigned taggedEntriesLog2 = 12; ///< 4K entries per tagged table
+    unsigned tagBits = 10;
+    unsigned historyLen1 = 8;  ///< global history bits hashed for table 1
+    unsigned historyLen2 = 24; ///< global history bits hashed for table 2
+};
+
+/** 3-table PPM-like direction predictor. */
+class PpmPredictor
+{
+  public:
+    explicit PpmPredictor(const PpmParams &params = PpmParams{});
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /**
+     * Train with the resolved outcome and advance the global history.
+     *
+     * @param pc static address of the branch
+     * @param taken actual direction
+     * @param predicted the direction that was predicted (for allocation)
+     */
+    void update(uint64_t pc, bool taken, bool predicted);
+
+    /** Spool the actual outcome of a non-conditional control transfer
+     *  (calls/jumps) into the history so indexing matches hardware. */
+    void updateHistoryOnly(bool taken);
+
+    uint64_t globalHistory() const { return history_; }
+
+  private:
+    struct TaggedEntry
+    {
+        uint8_t ctr = 4;   ///< 3-bit counter, 4 = weakly taken
+        uint16_t tag = 0;
+        bool useful = false;
+        bool valid = false;
+    };
+
+    unsigned baseIndex(uint64_t pc) const;
+    unsigned taggedIndex(uint64_t pc, unsigned hist_len) const;
+    uint16_t taggedTag(uint64_t pc, unsigned hist_len) const;
+
+    /** Which table provides the prediction: 0 = base, 1, 2 = tagged. */
+    int provider(uint64_t pc, unsigned *index_out, bool *pred_out) const;
+
+    PpmParams params_;
+    std::vector<uint8_t> base_;       ///< 2-bit counters
+    std::vector<TaggedEntry> table1_; ///< short-history tagged table
+    std::vector<TaggedEntry> table2_; ///< long-history tagged table
+    uint64_t history_ = 0;            ///< global direction history
+};
+
+} // namespace icfp
+
+#endif // ICFP_BPRED_PPM_PREDICTOR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error and diagnostic reporting in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated: a simulator bug. Aborts.
+ * fatal()  — the user asked for something unsatisfiable (bad config).
+ *            Exits with an error code.
+ * warn()   — something is modeled approximately; simulation continues.
+ */
+
+#ifndef ICFP_COMMON_LOGGING_HH
+#define ICFP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace icfp {
+
+/** Print a formatted bug message with location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted user-error message with location and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted warning to stderr; does not stop the simulation. */
+void warnImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define ICFP_PANIC(...) ::icfp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ICFP_FATAL(...) ::icfp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ICFP_WARN(...) ::icfp::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Simulator-bug assertion: checked in all build types (unlike assert()),
+ * because the correctness claims of the timing models rest on them.
+ */
+#define ICFP_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::icfp::panicImpl(__FILE__, __LINE__,                           \
+                              "assertion failed: %s", #cond);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace icfp
+
+#endif // ICFP_COMMON_LOGGING_HH

@@ -1,0 +1,76 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+void
+MlpIntegrator::record(Cycle start, Cycle end)
+{
+    if (end <= start)
+        return;
+    delta_[start] += 1;
+    delta_[end] -= 1;
+    ++count_;
+}
+
+double
+MlpIntegrator::mlp() const
+{
+    unsigned __int128 area = 0;
+    Cycle busy = 0;
+    int64_t level = 0;
+    Cycle prev = 0;
+    for (const auto &[time, change] : delta_) {
+        if (level > 0) {
+            const Cycle span = time - prev;
+            area += static_cast<unsigned __int128>(level) * span;
+            busy += span;
+        }
+        level += change;
+        prev = time;
+    }
+    ICFP_ASSERT(level == 0);
+    if (busy == 0)
+        return 0.0;
+    return static_cast<double>(area) / static_cast<double>(busy);
+}
+
+Cycle
+MlpIntegrator::busyCycles() const
+{
+    Cycle busy = 0;
+    int64_t level = 0;
+    Cycle prev = 0;
+    for (const auto &[time, change] : delta_) {
+        if (level > 0)
+            busy += time - prev;
+        level += change;
+        prev = time;
+    }
+    return busy;
+}
+
+void
+MlpIntegrator::reset()
+{
+    delta_.clear();
+    count_ = 0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        ICFP_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace icfp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Statistics primitives: scalar counters, histograms, and the
+ * interval-based memory-level-parallelism (MLP) integrator used to
+ * reproduce Table 2 of the paper.
+ */
+
+#ifndef ICFP_COMMON_STATS_HH
+#define ICFP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/**
+ * Integrates the number of simultaneously outstanding events (e.g. demand
+ * misses at one cache level) over simulated time.
+ *
+ * MLP is defined, following the paper's usage, as the time integral of the
+ * outstanding-miss count divided by the amount of time during which at
+ * least one miss was outstanding.
+ *
+ * Intervals may be recorded in any order; finalization sweeps a difference
+ * map. Recording is O(log n) per interval.
+ */
+class MlpIntegrator
+{
+  public:
+    /** Record one outstanding interval [start, end). Zero-length ignored. */
+    void record(Cycle start, Cycle end);
+
+    /** Number of intervals recorded so far. */
+    uint64_t count() const { return count_; }
+
+    /** Average overlap while >= 1 outstanding; 0 if nothing recorded. */
+    double mlp() const;
+
+    /** Total cycles during which >= 1 event was outstanding. */
+    Cycle busyCycles() const;
+
+    /** Discard all recorded intervals. */
+    void reset();
+
+  private:
+    std::map<Cycle, int64_t> delta_;
+    uint64_t count_ = 0;
+};
+
+/** A simple fixed-bucket histogram for small non-negative samples. */
+class Histogram
+{
+  public:
+    /** @param num_buckets samples >= num_buckets-1 land in the last bucket */
+    explicit Histogram(unsigned num_buckets)
+        : buckets_(num_buckets, 0)
+    {}
+
+    void
+    sample(uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        const size_t idx =
+            value >= buckets_.size() ? buckets_.size() - 1 : value;
+        ++buckets_[idx];
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    uint64_t bucket(size_t i) const { return buckets_.at(i); }
+    size_t numBuckets() const { return buckets_.size(); }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/** Geometric mean of a set of ratios (e.g. per-benchmark speedups). */
+double geomean(const std::vector<double> &values);
+
+} // namespace icfp
+
+#endif // ICFP_COMMON_STATS_HH

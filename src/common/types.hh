@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every icfp-sim module.
+ */
+
+#ifndef ICFP_COMMON_TYPES_HH
+#define ICFP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace icfp {
+
+/** Simulated time, in core clock cycles. */
+using Cycle = uint64_t;
+
+/** Byte address in the simulated flat physical address space. */
+using Addr = uint64_t;
+
+/** Architectural register value (the µISA is a 64-bit machine). */
+using RegVal = uint64_t;
+
+/** Architectural register identifier. */
+using RegId = uint8_t;
+
+/**
+ * Instruction sequence number: distance in dynamic instructions from the
+ * active checkpoint. Used for last-writer tracking (Section 3.1 of the
+ * paper).
+ */
+using SeqNum = uint64_t;
+
+/**
+ * Store sequence number (SSN): a monotonically increasing dynamic store
+ * name whose low-order bits index the store buffer (Section 3.2).
+ */
+using Ssn = uint64_t;
+
+/** Number of architectural registers in the µISA. */
+constexpr int kNumRegs = 32;
+
+/** Width of a machine word / memory access granularity, bytes. */
+constexpr unsigned kWordBytes = 8;
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Sentinel register id meaning "no register operand". */
+constexpr RegId kNoReg = 0xff;
+
+} // namespace icfp
+
+#endif // ICFP_COMMON_TYPES_HH

@@ -1,0 +1,45 @@
+#include "core/core_base.hh"
+
+namespace icfp {
+
+CoreBase::CoreBase(std::string name, const CoreParams &core_params,
+                   const MemParams &mem_params)
+    : name_(std::move(name)),
+      params_(core_params),
+      mem_(mem_params),
+      bpred_(core_params.bpred),
+      slots_(params_)
+{
+}
+
+void
+CoreBase::resetRunState()
+{
+    regReady_.fill(0);
+    cycle_ = 0;
+    fetchReadyAt_ = 0;
+}
+
+bool
+CoreBase::resolveBranch(const DynInst &di, const BranchPrediction &pred,
+                        Cycle resolve_cycle)
+{
+    const bool correct = bpred_.resolve(di, pred);
+    if (!correct) {
+        fetchReadyAt_ = std::max(fetchReadyAt_,
+                                 resolve_cycle + params_.mispredictPenalty);
+    }
+    return correct;
+}
+
+void
+CoreBase::finishStats(RunResult *result) const
+{
+    result->core = name_;
+    result->mem = mem_.stats();
+    result->dcacheMlp = mem_.dcacheMlp();
+    result->l2Mlp = mem_.l2Mlp();
+    result->branch = bpred_.stats();
+}
+
+} // namespace icfp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Shared machinery for all timing core models: the per-cycle issue-slot
+ * accounting (2-way: 2 int, 1 fp/mem/branch), the register timing
+ * scoreboard, front-end redirect bookkeeping, and the small associative
+ * store buffer used by the baseline (Table 1: 32-entry).
+ *
+ * Every core model replays a golden Trace (isa/interpreter.hh): the trace
+ * supplies resolved addresses, values and branch outcomes, while the model
+ * decides *when* each instruction can issue and carries its own
+ * architectural state through its scheme-specific mechanisms.
+ */
+
+#ifndef ICFP_CORE_CORE_BASE_HH
+#define ICFP_CORE_CORE_BASE_HH
+
+#include <array>
+#include <deque>
+#include <string>
+
+#include "bpred/branch_unit.hh"
+#include "common/types.hh"
+#include "core/params.hh"
+#include "isa/interpreter.hh"
+#include "mem/hierarchy.hh"
+
+namespace icfp {
+
+/** Per-cycle issue-slot accounting. */
+class IssueSlots
+{
+  public:
+    explicit IssueSlots(const CoreParams &params) : params_(&params) {}
+
+    void
+    reset()
+    {
+        used_ = 0;
+        intAlu_ = 0;
+        memFpBr_ = 0;
+    }
+
+    /** Can an instruction of class @p fu issue this cycle? */
+    bool
+    available(FuClass fu) const
+    {
+        if (used_ >= params_->issueWidth)
+            return false;
+        switch (fu) {
+          case FuClass::IntAlu:
+            return intAlu_ < params_->intAluSlots;
+          case FuClass::IntMul:
+          case FuClass::FpAdd:
+          case FuClass::FpMul:
+          case FuClass::Mem:
+          case FuClass::Branch:
+            return memFpBr_ < params_->memFpBrSlots;
+          case FuClass::None:
+            return true;
+        }
+        return false;
+    }
+
+    /** Claim a slot. @pre available(fu) */
+    void
+    take(FuClass fu)
+    {
+        ++used_;
+        if (fu == FuClass::IntAlu)
+            ++intAlu_;
+        else if (fu != FuClass::None)
+            ++memFpBr_;
+    }
+
+    unsigned used() const { return used_; }
+
+  private:
+    const CoreParams *params_;
+    unsigned used_ = 0;
+    unsigned intAlu_ = 0;
+    unsigned memFpBr_ = 0;
+};
+
+/**
+ * Small fully-associative store buffer (the baseline's, Table 1:
+ * 32-entry). Entries drain to the data cache in program order at one store
+ * per cycle once their line is present.
+ */
+class SimpleStoreBuffer
+{
+  public:
+    explicit SimpleStoreBuffer(unsigned entries) : capacity_(entries) {}
+
+    bool full() const { return queue_.size() >= capacity_; }
+    bool empty() const { return queue_.empty(); }
+    size_t size() const { return queue_.size(); }
+
+    /** Append a completed store; @p done_at is when its line is written. */
+    void
+    push(Addr addr, RegVal value, Cycle done_at)
+    {
+        queue_.push_back(Entry{addr, value, done_at});
+    }
+
+    /**
+     * Youngest matching store for a load (associative search).
+     * @return true and the value if found
+     */
+    bool
+    forward(Addr addr, RegVal *value) const
+    {
+        for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+            if (it->addr == addr) {
+                *value = it->value;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Retire entries whose stores have completed, writing @p mem. */
+    void
+    drain(Cycle now, MemoryImage *mem)
+    {
+        while (!queue_.empty() && queue_.front().doneAt <= now) {
+            mem->write(queue_.front().addr, queue_.front().value);
+            queue_.pop_front();
+        }
+    }
+
+    /** When the oldest entry will free (for stall-on-full timing). */
+    Cycle
+    headFreeAt() const
+    {
+        return queue_.empty() ? 0 : queue_.front().doneAt;
+    }
+
+    /** Flush everything into @p mem (end of run). */
+    void
+    flush(MemoryImage *mem)
+    {
+        for (const Entry &entry : queue_)
+            mem->write(entry.addr, entry.value);
+        queue_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        RegVal value;
+        Cycle doneAt;
+    };
+
+    std::deque<Entry> queue_;
+    unsigned capacity_;
+};
+
+/** Base class holding the state every timing core shares. */
+class CoreBase
+{
+  public:
+    CoreBase(std::string name, const CoreParams &core_params,
+             const MemParams &mem_params);
+    virtual ~CoreBase() = default;
+
+    /** Replay @p trace to completion and return the statistics. */
+    virtual RunResult run(const Trace &trace) = 0;
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    /** Earliest cycle at which all of @p di's sources are timing-ready. */
+    Cycle
+    srcReadyCycle(const DynInst &di) const
+    {
+        Cycle ready = 0;
+        if (di.src1 != kNoReg && di.src1 != 0)
+            ready = std::max(ready, regReady_[di.src1]);
+        if (di.src2 != kNoReg && di.src2 != 0)
+            ready = std::max(ready, regReady_[di.src2]);
+        return ready;
+    }
+
+    void
+    setDstReady(const DynInst &di, Cycle at)
+    {
+        if (di.dst != kNoReg && di.dst != 0)
+            regReady_[di.dst] = at;
+    }
+
+    /** Reset per-run mutable state. */
+    void resetRunState();
+
+    /**
+     * Resolve a control instruction against its fetch-time prediction and
+     * apply the redirect penalty to the front end on a mispredict.
+     * @return true iff predicted correctly
+     */
+    bool resolveBranch(const DynInst &di, const BranchPrediction &pred,
+                       Cycle resolve_cycle);
+
+    /** Collect common stats into @p result at end of run. */
+    void finishStats(RunResult *result) const;
+
+    std::string name_;
+    CoreParams params_;
+    MemHierarchy mem_;
+    BranchUnit bpred_;
+    IssueSlots slots_;
+
+    std::array<Cycle, kNumRegs> regReady_{};
+    Cycle cycle_ = 0;
+    Cycle fetchReadyAt_ = 0; ///< front end can deliver from this cycle on
+};
+
+} // namespace icfp
+
+#endif // ICFP_CORE_CORE_BASE_HH

@@ -1,0 +1,100 @@
+#include "core/inorder_core.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+RunResult
+InOrderCore::run(const Trace &trace)
+{
+    resetRunState();
+    RunResult result;
+    result.instructions = trace.size();
+
+    SimpleStoreBuffer sb(params_.storeBufferEntries);
+    MemoryImage memory = trace.program->initialMemory;
+
+    size_t idx = 0;
+    const size_t n = trace.size();
+
+    while (idx < n) {
+        slots_.reset();
+        sb.drain(cycle_, &memory);
+
+        // Issue in order until a hazard stops the cycle.
+        while (idx < n && slots_.used() < params_.issueWidth) {
+            const DynInst &di = trace[idx];
+
+            if (cycle_ < fetchReadyAt_)
+                break; // front-end bubble (redirect refill)
+
+            // In-order issue: operands must be ready. This is where the
+            // baseline "stalls at the first miss-dependent instruction".
+            if (srcReadyCycle(di) > cycle_)
+                break;
+
+            const FuClass fu = fuClass(di.op);
+            if (!slots_.available(fu))
+                break;
+
+            switch (di.op) {
+              case Opcode::Ld: {
+                RegVal fwd;
+                if (sb.forward(di.addr, &fwd)) {
+                    // Store buffer forwarding: same latency as a D$ hit.
+                    ICFP_ASSERT(fwd == di.result);
+                    setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
+                } else {
+                    const MemAccessResult r = mem_.load(di.addr, cycle_);
+                    setDstReady(di, r.doneAt);
+                }
+                break;
+              }
+              case Opcode::St: {
+                if (sb.full()) {
+                    // Stall until the head entry's line is written.
+                    const Cycle free_at = std::max(sb.headFreeAt(), cycle_ + 1);
+                    fetchReadyAt_ = std::max(fetchReadyAt_, free_at);
+                    goto cycle_done;
+                }
+                const MemAccessResult r = mem_.store(di.addr, cycle_);
+                sb.push(di.addr, di.storeValue, r.doneAt);
+                break;
+              }
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Blt:
+              case Opcode::Jmp:
+              case Opcode::Call:
+              case Opcode::Ret: {
+                const BranchPrediction pred = bpred_.predict(di);
+                if (di.op == Opcode::Call)
+                    setDstReady(di, cycle_ + 1);
+                resolveBranch(di, pred, cycle_);
+                break;
+              }
+              case Opcode::Halt:
+              case Opcode::Nop:
+                break;
+              default: // ALU
+                setDstReady(di, cycle_ + fuLatency(di.op));
+                break;
+            }
+
+            slots_.take(fu);
+            ++idx;
+        }
+
+      cycle_done:
+        ++cycle_;
+    }
+
+    sb.flush(&memory);
+    ICFP_ASSERT(memory == trace.finalMemory);
+
+    result.cycles = cycle_;
+    finishStats(&result);
+    return result;
+}
+
+} // namespace icfp

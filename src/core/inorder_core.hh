@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The vanilla in-order baseline (Section 2, Figure 2a).
+ *
+ * Two-way superscalar, scoreboarded, non-blocking caches: loads issue and
+ * the pipeline stalls at the first instruction that *uses* a missing value
+ * (not at the miss itself — matching the paper's baseline). Stores retire
+ * through a 32-entry associative store buffer that forwards to younger
+ * loads and drains in program order.
+ */
+
+#ifndef ICFP_CORE_INORDER_CORE_HH
+#define ICFP_CORE_INORDER_CORE_HH
+
+#include "core/core_base.hh"
+
+namespace icfp {
+
+/** Baseline in-order pipeline model. */
+class InOrderCore : public CoreBase
+{
+  public:
+    InOrderCore(const CoreParams &core_params, const MemParams &mem_params)
+        : CoreBase("in-order", core_params, mem_params)
+    {}
+
+    RunResult run(const Trace &trace) override;
+};
+
+} // namespace icfp
+
+#endif // ICFP_CORE_INORDER_CORE_HH

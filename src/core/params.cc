@@ -1,0 +1,3 @@
+// CoreParams/RunResult are header-only aggregates; this translation unit
+// anchors the component in the build.
+#include "core/params.hh"

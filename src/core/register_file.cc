@@ -1,0 +1,2 @@
+// RegisterFile is header-only; see register_file.hh.
+#include "core/register_file.hh"

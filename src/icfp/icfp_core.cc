@@ -1,0 +1,912 @@
+#include "icfp/icfp_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+namespace {
+
+/** Deadlock guard for the cycle loop (simulator bug detector). */
+constexpr Cycle kMaxRunCycles = Cycle{1} << 36;
+
+} // namespace
+
+ICfpCore::ICfpCore(const CoreParams &core_params, const MemParams &mem_params,
+                   const ICfpParams &icfp_params)
+    : CoreBase("icfp", core_params, mem_params),
+      icfp_(icfp_params),
+      csb_(icfp_params.storeBuffer),
+      slice_(icfp_params.sliceEntries),
+      sig_(icfp_params.signatureBits)
+{
+    ICFP_ASSERT(icfp_.poisonBits >= 1 && icfp_.poisonBits <= kMaxPoisonBits);
+}
+
+// --------------------------------------------------------------------------
+// Epoch control
+// --------------------------------------------------------------------------
+
+void
+ICfpCore::enterEpoch(size_t miss_idx)
+{
+    ICFP_ASSERT(!inEpoch_);
+    rf0_.checkpoint();
+    chkIdx_ = miss_idx;
+    chkSsnTail_ = csb_.ssnTail();
+    inEpoch_ = true;
+    ++result_.advanceEntries;
+}
+
+void
+ICfpCore::endEpoch()
+{
+    ICFP_ASSERT(inEpoch_);
+    ICFP_ASSERT(slice_.noneActive());
+    ICFP_ASSERT(!rf0_.anyPoisoned());
+    inEpoch_ = false;
+    passActive_ = false;
+    returnedBits_ = 0;
+    pending_.clear();
+    sliceValues_.clear();
+    sig_.clear();
+    wrongPath_ = false;
+}
+
+void
+ICfpCore::squash()
+{
+    ICFP_ASSERT(inEpoch_);
+    rf0_.restore();
+    sliceValues_.clear();
+    slice_.clear();
+    pending_.clear();
+    csb_.squashTo(chkSsnTail_);
+    sig_.clear();
+    bpred_.squashRas();
+
+    inEpoch_ = false;
+    passActive_ = false;
+    returnedBits_ = 0;
+    wrongPath_ = false;
+    simpleRa_ = false;
+    sraWrongPath_ = false;
+    rallyBlockedUntil_ = 0;
+
+    tailIdx_ = chkIdx_;
+    fetchReadyAt_ = cycle_ + params_.squashPenalty;
+    regReady_.fill(cycle_);
+    ++result_.squashes;
+}
+
+void
+ICfpCore::enterSimpleRunahead()
+{
+    ICFP_ASSERT(inEpoch_ && !simpleRa_);
+    simpleRa_ = true;
+    sraWrongPath_ = false;
+    sraStartIdx_ = tailIdx_;
+    for (int r = 0; r < kNumRegs; ++r) {
+        sraPoison_[r] = rf0_.poison(static_cast<RegId>(r));
+        sraReady_[r] = regReady_[r];
+    }
+    ++result_.simpleRaEntries;
+}
+
+void
+ICfpCore::exitSimpleRunahead()
+{
+    ICFP_ASSERT(simpleRa_);
+    simpleRa_ = false;
+    sraWrongPath_ = false;
+    // Everything advanced in simple-runahead mode was non-committing and
+    // must re-execute: rewind the tail and refill the pipe.
+    tailIdx_ = sraStartIdx_;
+    fetchReadyAt_ = std::max(fetchReadyAt_, cycle_ + params_.squashPenalty);
+}
+
+void
+ICfpCore::maybeEndEpoch()
+{
+    if (!inEpoch_ || passActive_ || !slice_.noneActive())
+        return;
+    // The rally is complete. If the tail had fallen into simple-runahead
+    // mode, rewind it first (its work was non-committing); ending the
+    // epoch releases the checkpoint, which lets the store buffer drain
+    // and unblocks whatever resource exhaustion caused the fallback.
+    if (simpleRa_)
+        exitSimpleRunahead();
+    endEpoch();
+}
+
+// --------------------------------------------------------------------------
+// Miss returns and external stores
+// --------------------------------------------------------------------------
+
+void
+ICfpCore::processMissReturns()
+{
+    returnedBits_ |= pending_.popReturned(cycle_);
+}
+
+void
+ICfpCore::processExternalStores()
+{
+    while (nextExternalStore_ < icfp_.externalStores.size() &&
+           icfp_.externalStores[nextExternalStore_].first <= cycle_) {
+        const Addr addr = icfp_.externalStores[nextExternalStore_].second;
+        ++nextExternalStore_;
+        // Vulnerable loads (cache-sourced during this epoch) are recorded
+        // in the signature; a probe hit forces a squash to the checkpoint
+        // (Section 3.3). Without a checkpoint the load was architecturally
+        // ordered and no action is needed.
+        if (inEpoch_ && sig_.probe(addr)) {
+            ++signatureSquashes_;
+            squash();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Tail (advance / normal) execution
+// --------------------------------------------------------------------------
+
+PoisonMask
+ICfpCore::srcPoison(const DynInst &di) const
+{
+    PoisonMask poison = 0;
+    if (di.src1 != kNoReg)
+        poison |= rf0_.poison(di.src1);
+    if (di.src2 != kNoReg)
+        poison |= rf0_.poison(di.src2);
+    return poison;
+}
+
+Cycle
+ICfpCore::srcReadyNonPoisoned(const DynInst &di) const
+{
+    Cycle ready = 0;
+    if (di.src1 != kNoReg && di.src1 != 0 && rf0_.poison(di.src1) == 0)
+        ready = std::max(ready, regReady_[di.src1]);
+    if (di.src2 != kNoReg && di.src2 != 0 && rf0_.poison(di.src2) == 0)
+        ready = std::max(ready, regReady_[di.src2]);
+    return ready;
+}
+
+bool
+ICfpCore::tailLoad(const DynInst &di)
+{
+    const SeqNum seq = tailIdx_;
+    const SbLookupResult fwd = csb_.lookup(di.addr, seq, nullptr);
+
+    if (fwd.mustStall)
+        return false; // IndexedLimited: wait for the conflicting store
+
+    if (fwd.found && !fwd.poisoned) {
+        // Store buffer forwarding; extra chain hops add load latency.
+        ICFP_ASSERT(fwd.value == di.result);
+        rf0_.write(di.dst, fwd.value, seq);
+        setDstReady(di, cycle_ + mem_.params().dcacheHitLatency +
+                            fwd.excessHops);
+        return true;
+    }
+
+    if (fwd.found && fwd.poisoned) {
+        // Forwarding from a miss-dependent store: the load inherits the
+        // store's poison and defers (Section 3.2).
+        ICFP_ASSERT(inEpoch_);
+        if (slice_.full()) {
+            enterSimpleRunahead();
+            return false;
+        }
+        SliceEntry entry;
+        entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+        entry.seq = seq;
+        entry.poison = fwd.poison;
+        entry.src1Captured = true;
+        entry.src1Val = di.src1 == kNoReg ? 0 : rf0_.read(di.src1);
+        entry.src2Captured = true;
+        slice_.push(entry);
+        rf0_.writePoisoned(di.dst, fwd.poison, seq);
+        ++result_.slicedInsts;
+        return true;
+    }
+
+    // No forwarding: access the hierarchy.
+    const MemAccessResult r = mem_.load(di.addr, cycle_);
+    const bool d_miss = r.missedDcache();
+    const bool l2_miss = r.missedL2();
+
+    bool poison_it = false;
+    if (inEpoch_) {
+        // Under a miss, L2 misses always poison; D$-only misses follow the
+        // secondary-miss policy (Section 2's D$-b/D$-nb distinction).
+        poison_it = l2_miss || (d_miss && icfp_.secondaryPolicy ==
+                                              SecondaryMissPolicy::Poison);
+    } else {
+        const bool trigger =
+            (icfp_.trigger == AdvanceTrigger::AnyDcache && d_miss) ||
+            (icfp_.trigger == AdvanceTrigger::L2Only && l2_miss);
+        if (trigger) {
+            enterEpoch(tailIdx_);
+            poison_it = true;
+        }
+    }
+
+    if (poison_it) {
+        if (slice_.full()) {
+            enterSimpleRunahead();
+            return false;
+        }
+        const PoisonMask mask = poisonBitMask(r.poisonBit, icfp_.poisonBits);
+        SliceEntry entry;
+        entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+        entry.seq = seq;
+        entry.poison = mask;
+        entry.src1Captured = true;
+        entry.src1Val = di.src1 == kNoReg ? 0 : rf0_.read(di.src1);
+        entry.src2Captured = true;
+        slice_.push(entry);
+        rf0_.writePoisoned(di.dst, mask, seq);
+        pending_.push(r.doneAt, mask);
+        ++result_.slicedInsts;
+        return true;
+    }
+
+    // Ordinary (possibly slow) load: value comes from memory state, which
+    // reflects all drained stores; anything younger would have forwarded.
+    // A no-match chain walk still costs its excess hops: the D$ value is
+    // usable only once the walk confirms nothing younger forwards.
+    const RegVal value = memImage_.read(di.addr);
+    ICFP_ASSERT(value == di.result);
+    rf0_.write(di.dst, value, seq);
+    setDstReady(di, std::max(r.doneAt,
+                             cycle_ + mem_.params().dcacheHitLatency +
+                                 fwd.excessHops));
+    if (inEpoch_)
+        sig_.insert(di.addr); // vulnerable to external stores (Section 3.3)
+    return true;
+}
+
+bool
+ICfpCore::tailStore(const DynInst &di)
+{
+    if (csb_.full()) {
+        if (inEpoch_) {
+            enterSimpleRunahead();
+        }
+        // Outside an epoch the buffer drains ahead of us; just stall.
+        return false;
+    }
+    csb_.allocate(di.addr, di.storeValue, 0, tailIdx_);
+    return true;
+}
+
+bool
+ICfpCore::divertToSlice(const DynInst &di, PoisonMask poison)
+{
+    ICFP_ASSERT(inEpoch_);
+    const SeqNum seq = tailIdx_;
+
+    // A store whose *address* is poisoned cannot be chained into the store
+    // buffer; proceeding would forfeit forwarding guarantees (Section 3.2).
+    const bool addr_poisoned =
+        di.isStore() && di.src1 != kNoReg && rf0_.poison(di.src1) != 0;
+    if (addr_poisoned) {
+        if (icfp_.poisonAddrPolicy == PoisonAddrPolicy::Stall) {
+            ++result_.poisonAddrStalls;
+            return false; // tail waits until the address resolves
+        }
+        enterSimpleRunahead();
+        return false;
+    }
+
+    if (slice_.full() || (di.isStore() && csb_.full())) {
+        enterSimpleRunahead();
+        return false;
+    }
+
+    SliceEntry entry;
+    entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+    entry.seq = seq;
+    entry.poison = poison;
+    entry.src1Captured =
+        di.src1 == kNoReg || rf0_.poison(di.src1) == 0;
+    if (entry.src1Captured && di.src1 != kNoReg)
+        entry.src1Val = rf0_.read(di.src1);
+    else if (!entry.src1Captured)
+        entry.src1Producer = rf0_.lastWriter(di.src1);
+    entry.src2Captured =
+        di.src2 == kNoReg || rf0_.poison(di.src2) == 0;
+    if (entry.src2Captured && di.src2 != kNoReg)
+        entry.src2Val = rf0_.read(di.src2);
+    else if (!entry.src2Captured)
+        entry.src2Producer = rf0_.lastWriter(di.src2);
+
+    if (di.isStore()) {
+        // Address known, data poisoned: allocate (and chain) the store
+        // buffer entry now; the rally fills in the value later.
+        entry.storeSsn = csb_.allocate(di.addr, 0, poison, seq);
+    }
+
+    if (di.isControl()) {
+        // Poisoned branch: predict now, verify during the rally.
+        entry.pred = bpred_.predict(di);
+        if (entry.pred.predNextPc != di.nextPc) {
+            // Advance is now on the wrong path. The tail stops doing
+            // useful work until the rally resolves this branch and
+            // squashes (trace-driven wrong-path approximation).
+            wrongPath_ = true;
+        }
+    }
+
+    if (di.hasDst())
+        rf0_.writePoisoned(di.dst, poison, seq);
+
+    slice_.push(entry);
+    ++result_.slicedInsts;
+    return true;
+}
+
+bool
+ICfpCore::tailIssueOne(const DynInst &di)
+{
+    const PoisonMask poison = inEpoch_ ? srcPoison(di) : PoisonMask{0};
+
+    if (poison != 0) {
+        // Miss-dependent: divert to the slice buffer. Non-poisoned side
+        // inputs must be value-ready to be captured at the latch.
+        if (srcReadyNonPoisoned(di) > cycle_)
+            return false;
+        if (!slots_.available(FuClass::None))
+            return false;
+        if (!divertToSlice(di, poison))
+            return false;
+        slots_.take(FuClass::None);
+        ++tailIdx_;
+        ++result_.advanceInsts;
+        return true;
+    }
+
+    // Miss-independent: normal in-order issue.
+    if (srcReadyCycle(di) > cycle_)
+        return false;
+    const FuClass fu = fuClass(di.op);
+    if (!slots_.available(fu))
+        return false;
+
+    switch (di.op) {
+      case Opcode::Ld:
+        if (!tailLoad(di))
+            return false;
+        break;
+      case Opcode::St:
+        if (!tailStore(di))
+            return false;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret: {
+        const BranchPrediction pred = bpred_.predict(di);
+        if (di.op == Opcode::Call) {
+            rf0_.write(di.dst, di.result, tailIdx_);
+            setDstReady(di, cycle_ + 1);
+        }
+        resolveBranch(di, pred, cycle_);
+        break;
+      }
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      default: { // ALU
+        rf0_.write(di.dst, di.result, tailIdx_);
+        setDstReady(di, cycle_ + fuLatency(di.op));
+        break;
+      }
+    }
+
+    slots_.take(fu);
+    ++tailIdx_;
+    if (inEpoch_)
+        ++result_.advanceInsts;
+    return true;
+}
+
+void
+ICfpCore::tailTick()
+{
+    if (simpleRa_) {
+        // Exit when the exhausted resource has enough space again
+        // (hysteresis avoids rewind/refill ping-pong); checked even on
+        // the wrong path, since the rewind recovers from it.
+        const size_t slice_hyst = std::min<size_t>(
+            icfp_.simpleRaHysteresis, icfp_.sliceEntries / 2);
+        const size_t csb_hyst = std::min<size_t>(
+            icfp_.simpleRaHysteresis / 2, icfp_.storeBuffer.entries / 2);
+        const bool slice_ok =
+            slice_.occupancy() + slice_hyst <= icfp_.sliceEntries;
+        const bool csb_ok =
+            csb_.occupancy() + csb_hyst <= icfp_.storeBuffer.entries;
+        if (slice_ok && csb_ok) {
+            exitSimpleRunahead();
+            return;
+        }
+        if (sraWrongPath_ || cycle_ < fetchReadyAt_)
+            return;
+        if (tailIdx_ >= sraStartIdx_ + icfp_.simpleRaMaxDepth)
+            return; // lookahead bound: stop generating junk prefetches
+        simpleRunaheadTick();
+        return;
+    }
+
+    if (wrongPath_)
+        return; // nothing useful to fetch (wrong-path approximation)
+    if (cycle_ < fetchReadyAt_)
+        return;
+
+    while (tailIdx_ < traceLen_ && slots_.used() < params_.issueWidth) {
+        if (!tailIssueOne(trace_->insts[tailIdx_]))
+            break;
+        if (wrongPath_ || simpleRa_ || cycle_ < fetchReadyAt_)
+            break;
+    }
+}
+
+void
+ICfpCore::simpleRunaheadTick()
+{
+    // Non-committing advance (Section 3.4): keeps prefetching and branch
+    // resolution going using scratch poison/timing state; every
+    // instruction processed here re-executes after the rewind.
+    while (tailIdx_ < traceLen_ && slots_.used() < params_.issueWidth) {
+        const DynInst &di = trace_->insts[tailIdx_];
+
+        PoisonMask poison = 0;
+        Cycle ready = 0;
+        if (di.src1 != kNoReg && di.src1 != 0) {
+            poison |= sraPoison_[di.src1];
+            if (sraPoison_[di.src1] == 0)
+                ready = std::max(ready, sraReady_[di.src1]);
+        }
+        if (di.src2 != kNoReg && di.src2 != 0) {
+            poison |= sraPoison_[di.src2];
+            if (sraPoison_[di.src2] == 0)
+                ready = std::max(ready, sraReady_[di.src2]);
+        }
+        if (ready > cycle_)
+            break;
+
+        const FuClass fu = poison ? FuClass::None : fuClass(di.op);
+        if (!slots_.available(fu))
+            break;
+
+        if (poison == 0) {
+            switch (di.op) {
+              case Opcode::Ld: {
+                const MemAccessResult r = mem_.load(di.addr, cycle_);
+                if (r.missedDcache()) {
+                    if (di.dst != kNoReg && di.dst != 0)
+                        sraPoison_[di.dst] =
+                            poisonBitMask(r.poisonBit, icfp_.poisonBits);
+                } else if (di.dst != kNoReg && di.dst != 0) {
+                    sraPoison_[di.dst] = 0;
+                    sraReady_[di.dst] = r.doneAt;
+                }
+                break;
+              }
+              case Opcode::St:
+                break; // no store buffer space: stores do nothing here
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Blt:
+              case Opcode::Jmp:
+              case Opcode::Call:
+              case Opcode::Ret: {
+                const BranchPrediction pred = bpred_.predict(di);
+                if (di.op == Opcode::Call && di.dst != kNoReg) {
+                    sraPoison_[di.dst] = 0;
+                    sraReady_[di.dst] = cycle_ + 1;
+                }
+                resolveBranch(di, pred, cycle_);
+                break;
+              }
+              default:
+                if (di.dst != kNoReg && di.dst != 0) {
+                    sraPoison_[di.dst] = 0;
+                    sraReady_[di.dst] = cycle_ + fuLatency(di.op);
+                }
+                break;
+            }
+        } else {
+            // Poison propagation without slicing.
+            if (di.hasDst())
+                sraPoison_[di.dst] = poison;
+            if (di.isControl()) {
+                const BranchPrediction pred = bpred_.predict(di);
+                if (pred.predNextPc != di.nextPc) {
+                    sraWrongPath_ = true;
+                    slots_.take(fu);
+                    ++tailIdx_;
+                    ++result_.wrongPathInsts;
+                    break;
+                }
+            }
+        }
+
+        slots_.take(fu);
+        ++tailIdx_;
+        ++result_.advanceInsts;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Rally execution
+// --------------------------------------------------------------------------
+
+void
+ICfpCore::resolveEntry(SliceEntry &entry, size_t pos, const DynInst &di,
+                       RegVal value, Cycle ready_at)
+{
+    if (di.hasDst()) {
+        // Publish the result for younger slice consumers (scratch register
+        // file + bypass network).
+        sliceValues_[entry.seq] = ResolvedValue{value, ready_at};
+        // Sequence-gated merge into the main register file: lands only if
+        // this instruction is still the register's last writer (Figure 3).
+        if (rf0_.writeGated(di.dst, value, entry.seq))
+            regReady_[di.dst] = ready_at;
+    }
+    slice_.resolve(pos);
+    ++result_.rallyInsts;
+}
+
+void
+ICfpCore::rePoisonEntry(SliceEntry &entry, const DynInst &di,
+                        PoisonMask bits)
+{
+    // Inputs still missing: re-poison the entry in place for a later pass
+    // ("rallies themselves perform advance execution"). Keep the main
+    // register file's and store buffer's poison bits current so newly
+    // fetched dependents and forwarding loads wait on the right misses.
+    ICFP_ASSERT(bits != 0);
+    entry.poison = bits;
+    if (di.hasDst() && rf0_.lastWriter(di.dst) == entry.seq &&
+        rf0_.poison(di.dst) != 0) {
+        rf0_.writePoisoned(di.dst, bits, entry.seq);
+    }
+    if (di.isStore())
+        csb_.updatePoison(entry.storeSsn, bits);
+    ++result_.rallyInsts;
+}
+
+ICfpCore::RallyOutcome
+ICfpCore::rallyExec(SliceEntry &entry, size_t pos)
+{
+    const DynInst &di = trace_->insts[entry.traceIdx];
+    const Instruction &si = trace_->program->code[di.pc];
+
+    // Gather operands. Captured sources travel with the entry; uncaptured
+    // ones are delivered by producer sequence number through the scratch
+    // register file / bypass and are captured as soon as they become
+    // available so later passes need not re-read them.
+    PoisonMask still_poisoned = 0;
+    if (!entry.src1Captured) {
+        const auto it = sliceValues_.find(entry.src1Producer);
+        if (it == sliceValues_.end()) {
+            SliceEntry *producer = slice_.findBySeq(entry.src1Producer);
+            ICFP_ASSERT(producer != nullptr && producer->active);
+            still_poisoned |= producer->poison;
+        } else {
+            if (it->second.readyAt > cycle_)
+                return RallyOutcome::Stall;
+            entry.src1Val = it->second.value;
+            entry.src1Captured = true;
+        }
+    }
+    if (!entry.src2Captured) {
+        const auto it = sliceValues_.find(entry.src2Producer);
+        if (it == sliceValues_.end()) {
+            SliceEntry *producer = slice_.findBySeq(entry.src2Producer);
+            ICFP_ASSERT(producer != nullptr && producer->active);
+            still_poisoned |= producer->poison;
+        } else {
+            if (it->second.readyAt > cycle_)
+                return RallyOutcome::Stall;
+            entry.src2Val = it->second.value;
+            entry.src2Captured = true;
+        }
+    }
+
+    if (still_poisoned != 0) {
+        ICFP_ASSERT(icfp_.nonBlockingRally);
+        rePoisonEntry(entry, di, still_poisoned);
+        return RallyOutcome::RePoisoned;
+    }
+
+    const RegVal a = entry.src1Val;
+    const RegVal b = entry.src2Val;
+
+    switch (di.op) {
+      case Opcode::Ld: {
+        const Addr addr =
+            memImage_.wrap(a + static_cast<RegVal>(si.imm));
+        ICFP_ASSERT(addr == di.addr);
+        const SbLookupResult fwd = csb_.lookup(addr, entry.seq, nullptr);
+        if (fwd.mustStall)
+            return RallyOutcome::Stall;
+        if (fwd.found) {
+            if (fwd.poisoned) {
+                ICFP_ASSERT(icfp_.nonBlockingRally);
+                rePoisonEntry(entry, di, fwd.poison);
+                return RallyOutcome::RePoisoned;
+            }
+            ICFP_ASSERT(fwd.value == di.result);
+            resolveEntry(entry, pos, di, fwd.value,
+                         cycle_ + mem_.params().dcacheHitLatency +
+                             fwd.excessHops);
+            return RallyOutcome::Resolved;
+        }
+        const MemAccessResult r = mem_.load(addr, cycle_);
+        if (r.missedDcache()) {
+            if (!icfp_.nonBlockingRally) {
+                // Blocking rally: wait right here for the fill.
+                rallyBlockedUntil_ = r.doneAt;
+                return RallyOutcome::Blocked;
+            }
+            // Dependent miss: re-poison with a fresh bit and keep going.
+            const PoisonMask mask =
+                poisonBitMask(r.poisonBit, icfp_.poisonBits);
+            pending_.push(r.doneAt, mask);
+            rePoisonEntry(entry, di, mask);
+            return RallyOutcome::RePoisoned;
+        }
+        const RegVal value = memImage_.read(addr);
+        ICFP_ASSERT(value == di.result);
+        sig_.insert(addr);
+        resolveEntry(entry, pos, di, value,
+                     std::max(r.doneAt,
+                              cycle_ + mem_.params().dcacheHitLatency +
+                                  fwd.excessHops));
+        return RallyOutcome::Resolved;
+      }
+      case Opcode::St: {
+        // Address was known at slice entry; only the data was poisoned.
+        ICFP_ASSERT(b == di.storeValue);
+        csb_.resolve(entry.storeSsn, b);
+        slice_.resolve(pos);
+        ++result_.rallyInsts;
+        return RallyOutcome::Resolved;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ret: {
+        const bool correct = entry.pred.predNextPc == di.nextPc;
+        bpred_.resolve(di, entry.pred);
+        ++result_.rallyInsts;
+        if (!correct) {
+            // The advance ran down the wrong path from this branch on;
+            // recover to the checkpoint (Section 3.1).
+            squash();
+            return RallyOutcome::Squashed;
+        }
+        slice_.resolve(pos);
+        return RallyOutcome::Resolved;
+      }
+      default: { // ALU
+        const RegVal value = Interpreter::evaluate(di.op, a, b, si.imm);
+        ICFP_ASSERT(value == di.result);
+        resolveEntry(entry, pos, di, value, cycle_ + fuLatency(di.op));
+        return RallyOutcome::Resolved;
+      }
+    }
+}
+
+bool
+ICfpCore::rallyTick()
+{
+    if (!inEpoch_)
+        return false;
+    if (cycle_ < rallyBlockedUntil_)
+        return false;
+
+    // Start a pass when misses have returned and no pass is running.
+    if (!passActive_ && returnedBits_ != 0 && !slice_.noneActive()) {
+        passActive_ = true;
+        passBits_ = icfp_.nonBlockingRally
+                        ? returnedBits_
+                        : static_cast<PoisonMask>(~PoisonMask{0});
+        returnedBits_ = 0;
+        passPos_ = slice_.headIndex();
+        ++result_.rallyPasses;
+    }
+    if (!passActive_)
+        return false;
+
+    bool progressed = false;
+    unsigned skips = icfp_.sliceSkipPerCycle;
+    unsigned execs = icfp_.rallyWidth;
+
+    while (passPos_ < slice_.endIndex()) {
+        // Head reclaim may have advanced past the scan position.
+        passPos_ = std::max(passPos_, slice_.headIndex());
+        if (passPos_ >= slice_.endIndex())
+            break;
+        SliceEntry &entry = slice_.at(passPos_);
+        const bool wanted =
+            entry.active && (entry.poison & passBits_) != 0;
+        if (!wanted) {
+            // Banked skip of un-poisoned / non-matching entries.
+            if (skips == 0)
+                break;
+            --skips;
+            ++passPos_;
+            progressed = true;
+            continue;
+        }
+        if (execs == 0)
+            break;
+
+        const DynInst &di = trace_->insts[entry.traceIdx];
+        if (!slots_.available(fuClass(di.op)))
+            break;
+
+        const RallyOutcome outcome = rallyExec(entry, passPos_);
+        if (outcome != RallyOutcome::Stall)
+            rallyStalledOnStore_ = false;
+        if (outcome == RallyOutcome::Stall) {
+            rallyStalledOnStore_ = true;
+            // Indexed-limited store-buffer conflict: the blocking store
+            // may be undrainable until entries *behind* the scan point
+            // (skipped for a later pass) resolve. Yield this pass and
+            // fold its bits back, so the restart re-scans from the head
+            // — the head entry's conflicts are always drainable, which
+            // guarantees forward progress.
+            returnedBits_ |= passBits_;
+            passActive_ = false;
+            passBits_ = 0;
+            rallyBlockedUntil_ = cycle_ + 2;
+            break;
+        }
+        if (outcome == RallyOutcome::Blocked)
+            break;
+        if (outcome == RallyOutcome::Squashed)
+            return true;
+
+        slots_.take(fuClass(di.op));
+        --execs;
+        ++passPos_;
+        progressed = true;
+    }
+
+    if (passPos_ >= slice_.endIndex()) {
+        passActive_ = false;
+        passBits_ = 0;
+    }
+    return progressed;
+}
+
+// --------------------------------------------------------------------------
+// Store drain
+// --------------------------------------------------------------------------
+
+void
+ICfpCore::drainTick()
+{
+    // Bound the number of outstanding drained store misses.
+    while (!drainMisses_.empty() && drainMisses_.top() <= cycle_)
+        drainMisses_.pop();
+    if (drainMisses_.size() >= icfp_.storeBuffer.maxDrainMisses)
+        return;
+
+    // During an epoch, stores younger than the checkpoint stay buffered so
+    // a squash never needs memory rollback; this is what sizes the
+    // 128-entry buffer (Section 3.2).
+    //
+    // Exception: when an indexed-limited rally is stalled on a
+    // resolved-but-undrained conflicting store, the SRL interleave
+    // (Gandhi et al.: drain in program order with slice re-execution)
+    // opens the gate up to the rally frontier — otherwise the rally
+    // would deadlock against the drain gate. Outside that rescue, the
+    // mode keeps the strict gate, so tail loads that hit a chain-table
+    // conflict stall for the rest of the epoch (the Figure 8 penalty).
+    SeqNum bound = inEpoch_ ? chkIdx_ : ~SeqNum{0};
+    if (inEpoch_ && rallyStalledOnStore_ &&
+        icfp_.storeBuffer.mode == SbMode::IndexedLimited) {
+        bound = slice_.oldestActiveSeq();
+    }
+
+    Addr addr;
+    RegVal value;
+    if (csb_.drainHead(bound, &addr, &value)) {
+        const MemAccessResult r = mem_.store(addr, cycle_);
+        memImage_.write(addr, value);
+        if (r.missedDcache())
+            drainMisses_.push(r.doneAt);
+    }
+}
+
+// --------------------------------------------------------------------------
+// The run loop
+// --------------------------------------------------------------------------
+
+RunResult
+ICfpCore::run(const Trace &trace)
+{
+    resetRunState();
+    result_ = RunResult{};
+    trace_ = &trace;
+    traceLen_ = trace.size();
+    result_.instructions = traceLen_;
+
+    memImage_ = trace.program->initialMemory;
+    rf0_.clearAll();
+    sliceValues_.clear();
+    slice_.clear();
+    pending_.clear();
+    sig_.clear();
+    csb_ = ChainedStoreBuffer(icfp_.storeBuffer);
+    drainMisses_ = {};
+
+    tailIdx_ = 0;
+    inEpoch_ = false;
+    passActive_ = false;
+    returnedBits_ = 0;
+    rallyBlockedUntil_ = 0;
+    wrongPath_ = false;
+    simpleRa_ = false;
+    sraWrongPath_ = false;
+    nextExternalStore_ = 0;
+    signatureSquashes_ = 0;
+
+    while (tailIdx_ < traceLen_ || inEpoch_ || !csb_.empty()) {
+        ICFP_ASSERT(cycle_ < kMaxRunCycles);
+#ifdef ICFP_DEBUG_LOOP
+        if (cycle_ % 1000000 == 999999) {
+            std::fprintf(stderr,
+                "DBG c=%lu tail=%zu epoch=%d pass=%d passPos=%zu sliceOcc=%zu "
+                "active=%zu sra=%d sraWp=%d wp=%d pend=%zu ret=%x csb=%u "
+                "fetch=%lu rblk=%lu\n",
+                cycle_, tailIdx_, int(inEpoch_), int(passActive_), passPos_,
+                slice_.occupancy(), slice_.activeCount(), int(simpleRa_),
+                int(sraWrongPath_), int(wrongPath_), pending_.size(),
+                unsigned(returnedBits_), csb_.occupancy(), fetchReadyAt_,
+                rallyBlockedUntil_);
+        }
+#endif
+        slots_.reset();
+
+        processMissReturns();
+        processExternalStores();
+
+        const bool rally_busy = rallyTick();
+        // Multithreaded rally: the tail shares the pipe with the rally;
+        // otherwise the tail stalls whenever a pass is running.
+        if (icfp_.multithreadedRally || (!passActive_ && !rally_busy))
+            tailTick();
+        drainTick();
+        maybeEndEpoch();
+
+        ++cycle_;
+    }
+
+    // Functional verification against the golden interpreter.
+    ICFP_ASSERT(!rf0_.anyPoisoned());
+    const RegFileState final_regs = rf0_.values();
+    for (int r = 1; r < kNumRegs; ++r)
+        ICFP_ASSERT(final_regs[r] == trace.finalRegs[r]);
+    ICFP_ASSERT(memImage_ == trace.finalMemory);
+
+    result_.cycles = cycle_;
+    finishStats(&result_);
+    result_.sbChainLoads = csb_.stats().lookups;
+    result_.sbExcessHops = csb_.stats().excessHops;
+    result_.sbForwards = csb_.stats().forwards;
+    return result_;
+}
+
+} // namespace icfp

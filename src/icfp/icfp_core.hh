@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The iCFP (in-order Continual Flow Pipeline) core model — the paper's
+ * primary contribution (Section 3).
+ *
+ * On a data-cache or L2 miss the core checkpoints the register file and
+ * enters an advance epoch. Miss-independent instructions execute and
+ * commit into the main register file (RF0); miss-dependent instructions
+ * divert into the slice buffer with their side inputs, poisoning their
+ * destinations and stamping last-writer sequence numbers. Every miss
+ * return triggers a rally pass that re-executes only the still-poisoned
+ * slice entries, using the scratch register file (RF1) for intra-slice
+ * communication and sequence-gated writes to merge results into RF0.
+ * Rallies are non-blocking (still-missing loads re-poison their entries
+ * for a later pass) and, when enabled, run multithreaded with continued
+ * tail execution, the rally given priority (Section 3.1).
+ *
+ * Store-load forwarding uses the chained store buffer (Section 3.2);
+ * multiprocessor safety uses the load signature (Section 3.3); slice or
+ * store-buffer exhaustion falls back to "simple runahead" mode and
+ * poisoned-address stores stall the pipeline (Sections 3.2, 3.4).
+ *
+ * Feature flags reproduce the Figure 7 build: blocking single-pass
+ * rallies, poison-vector width, and multithreaded rally can each be
+ * toggled; the store-buffer mode knob reproduces Figure 8.
+ *
+ * The model is execution-verified: every value it commits — forwarded
+ * loads, rally re-executions, sequence-gated merges, drained stores — is
+ * asserted against the golden trace, and final register/memory state must
+ * equal the golden interpreter's.
+ */
+
+#ifndef ICFP_ICFP_ICFP_CORE_HH
+#define ICFP_ICFP_ICFP_CORE_HH
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/core_base.hh"
+#include "core/register_file.hh"
+#include "icfp/chained_store_buffer.hh"
+#include "icfp/poison.hh"
+#include "icfp/signature.hh"
+#include "icfp/slice_buffer.hh"
+
+namespace icfp {
+
+/** What advance execution does when a store's address is poisoned. */
+enum class PoisonAddrPolicy : uint8_t {
+    Stall,         ///< stall the tail until the address resolves
+    SimpleRunahead,///< fall back to non-committing advance
+};
+
+/** iCFP configuration (Table 1 defaults; flags for Figures 6/7/8). */
+struct ICfpParams
+{
+    AdvanceTrigger trigger = AdvanceTrigger::AnyDcache;
+    SecondaryMissPolicy secondaryPolicy = SecondaryMissPolicy::Poison;
+    unsigned poisonBits = 8;        ///< poison-vector width (1 = single bit)
+    bool nonBlockingRally = true;   ///< false: single blocking pass
+    bool multithreadedRally = true; ///< false: tail stalls during rallies
+    unsigned sliceEntries = 128;
+    unsigned sliceSkipPerCycle = 8; ///< banked skip bandwidth (Section 3.4)
+    unsigned rallyWidth = 1;        ///< slice re-injection bandwidth
+    /**
+     * Simple-runahead exit hysteresis: resume full advance only once this
+     * many slice/store-buffer entries are free, so a rewind is not
+     * immediately followed by another fallback.
+     */
+    unsigned simpleRaHysteresis = 32;
+    /**
+     * Simple-runahead lookahead bound (dynamic instructions past the
+     * rewind point): deep non-committing advance only pollutes the
+     * caches once the MSHR-bounded prefetch window is exhausted.
+     */
+    unsigned simpleRaMaxDepth = 512;
+    unsigned signatureBits = 1024;
+    PoisonAddrPolicy poisonAddrPolicy = PoisonAddrPolicy::Stall;
+    ChainedSbParams storeBuffer{};  ///< 128 entries / 512-entry chain table
+
+    /** Synthetic external stores (cycle, addr) for MP-safety testing. */
+    std::vector<std::pair<Cycle, Addr>> externalStores{};
+};
+
+/** The iCFP core. */
+class ICfpCore : public CoreBase
+{
+  public:
+    ICfpCore(const CoreParams &core_params, const MemParams &mem_params,
+             const ICfpParams &icfp_params = ICfpParams{});
+
+    RunResult run(const Trace &trace) override;
+
+    /** Number of external-store signature hits (squashes) observed. */
+    uint64_t signatureSquashes() const { return signatureSquashes_; }
+
+  private:
+    // --- per-cycle phases -------------------------------------------------
+    void processMissReturns();
+    void processExternalStores();
+    /** @return true if rally made progress this cycle */
+    bool rallyTick();
+    void tailTick();
+    void simpleRunaheadTick();
+    void drainTick();
+    void maybeEndEpoch();
+
+    // --- tail helpers ------------------------------------------------------
+    /** Source poison union from RF0. */
+    PoisonMask srcPoison(const DynInst &di) const;
+    /** Readiness of non-poisoned sources only (poisoned ones divert). */
+    Cycle srcReadyNonPoisoned(const DynInst &di) const;
+    /** @return false if the tail must stop issuing this cycle */
+    bool tailIssueOne(const DynInst &di);
+    bool tailLoad(const DynInst &di);
+    bool tailStore(const DynInst &di);
+    bool divertToSlice(const DynInst &di, PoisonMask poison);
+
+    // --- rally helpers -----------------------------------------------------
+    enum class RallyOutcome : uint8_t {
+        Resolved,  ///< entry executed and un-poisoned
+        RePoisoned,///< inputs still missing; entry re-activated
+        Stall,     ///< timing stall, retry next cycle
+        Blocked,   ///< blocking-rally wait for a load fill
+        Squashed,  ///< mispredicted poisoned branch: restored checkpoint
+    };
+    RallyOutcome rallyExec(SliceEntry &entry, size_t pos);
+    void resolveEntry(SliceEntry &entry, size_t pos, const DynInst &di,
+                      RegVal value, Cycle ready_at);
+    void rePoisonEntry(SliceEntry &entry, const DynInst &di,
+                       PoisonMask bits);
+
+    // --- epoch control -----------------------------------------------------
+    void enterEpoch(size_t miss_idx);
+    void endEpoch();
+    void squash();
+    void enterSimpleRunahead();
+    void exitSimpleRunahead();
+
+    // --- configuration & state --------------------------------------------
+    ICfpParams icfp_;
+
+    const Trace *trace_ = nullptr;
+    size_t traceLen_ = 0;
+
+    MemoryImage memImage_;
+    RegisterFile rf0_; ///< main register file (checkpointed)
+
+    /**
+     * Slice-internal value delivery, modeling the scratch register file
+     * (RF1, the borrowed thread context) plus the bypass network: each
+     * resolved slice instruction's result, keyed by its sequence number,
+     * with the cycle it becomes available. Consumers recorded their
+     * producers' sequence numbers at slice insertion, so WAW clobbering
+     * of a shared architectural register between rally passes — which
+     * hardware covers with the bypass network — cannot mis-deliver here.
+     * Bounded by the slice buffer capacity per epoch; cleared with it.
+     */
+    struct ResolvedValue
+    {
+        RegVal value = 0;
+        Cycle readyAt = 0;
+    };
+    std::unordered_map<SeqNum, ResolvedValue> sliceValues_;
+
+    ChainedStoreBuffer csb_;
+    SliceBuffer slice_;
+    Signature sig_;
+    PendingMissQueue pending_;
+
+    size_t tailIdx_ = 0;     ///< next trace instruction for the tail
+    bool inEpoch_ = false;
+    size_t chkIdx_ = 0;      ///< trace index the checkpoint restores to
+    Ssn chkSsnTail_ = 1;     ///< store buffer tail at checkpoint creation
+
+    // Rally pass state.
+    bool passActive_ = false;
+    PoisonMask passBits_ = 0;
+    size_t passPos_ = 0;
+    PoisonMask returnedBits_ = 0; ///< returned, not yet given a pass
+    Cycle rallyBlockedUntil_ = 0; ///< blocking-rally load wait
+    /**
+     * Indexed-limited mode only: a rally pass is stalled on a
+     * resolved-but-undrained conflicting store, so the drain gate opens
+     * up to the rally frontier (the SRL interleave) until it clears.
+     */
+    bool rallyStalledOnStore_ = false;
+
+    // Wrong-path / fallback state.
+    bool wrongPath_ = false;          ///< advance past a bad poisoned branch
+    bool simpleRa_ = false;
+    bool sraWrongPath_ = false;
+    size_t sraStartIdx_ = 0;
+    std::array<PoisonMask, kNumRegs> sraPoison_{};
+    std::array<Cycle, kNumRegs> sraReady_{};
+
+    // Store drain bookkeeping.
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        drainMisses_;
+
+    size_t nextExternalStore_ = 0;
+    uint64_t signatureSquashes_ = 0;
+
+    RunResult result_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_ICFP_ICFP_CORE_HH

@@ -1,0 +1,2 @@
+// Poison helpers are header-only; see poison.hh.
+#include "icfp/poison.hh"

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Poison bitvector helpers and the pending-miss return queue (Sections
+ * 3.1 and 3.4).
+ *
+ * Each in-flight load miss is tagged with one bit of a small poison
+ * bitvector; misses to the same MSHR share a bit and bits are assigned
+ * round-robin across MSHRs (the exact mapping is unimportant, per the
+ * paper). A register/store/slice entry is poisoned if any bit of its
+ * vector is set. Rally passes target the bits whose misses returned;
+ * entries with none of those bits set are skipped.
+ *
+ * With width 1, the scheme degenerates to the classic singleton poison
+ * bit used by the paper's ablation (Figure 7).
+ */
+
+#ifndef ICFP_ICFP_POISON_HH
+#define ICFP_ICFP_POISON_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/register_file.hh" // PoisonMask
+
+namespace icfp {
+
+/** Maximum supported poison-vector width. */
+constexpr unsigned kMaxPoisonBits = 16;
+
+/**
+ * Map an MSHR-assigned bit id to a PoisonMask of the configured width.
+ * Width 1 collapses everything onto bit 0.
+ */
+inline PoisonMask
+poisonBitMask(unsigned mshr_bit, unsigned width)
+{
+    ICFP_ASSERT(width >= 1 && width <= kMaxPoisonBits);
+    return static_cast<PoisonMask>(1u << (mshr_bit % width));
+}
+
+/** Min-heap of (fill time, poison bit) miss-return events. */
+class PendingMissQueue
+{
+  public:
+    void
+    push(Cycle fill_at, PoisonMask bits)
+    {
+        heap_.push({fill_at, bits});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Earliest fill time, or kCycleNever. */
+    Cycle
+    nextFillAt() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().fillAt;
+    }
+
+    /**
+     * Pop all events that have completed by @p now.
+     * @return the union of their poison bits (0 if none)
+     */
+    PoisonMask
+    popReturned(Cycle now)
+    {
+        PoisonMask bits = 0;
+        while (!heap_.empty() && heap_.top().fillAt <= now) {
+            bits |= heap_.top().bits;
+            heap_.pop();
+        }
+        return bits;
+    }
+
+    void
+    clear()
+    {
+        heap_ = {};
+    }
+
+  private:
+    struct Event
+    {
+        Cycle fillAt;
+        PoisonMask bits;
+        bool operator>(const Event &other) const
+        {
+            return fillAt > other.fillAt;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_ICFP_POISON_HH

@@ -1,0 +1,58 @@
+#include "icfp/signature.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+Signature::Signature(unsigned bits)
+    : bits_((bits + 63) / 64, 0),
+      mask_(bits - 1)
+{
+    ICFP_ASSERT(std::has_single_bit(bits));
+}
+
+unsigned
+Signature::hash1(Addr addr) const
+{
+    const Addr word = addr / kWordBytes;
+    return static_cast<unsigned>((word ^ (word >> 13)) & mask_);
+}
+
+unsigned
+Signature::hash2(Addr addr) const
+{
+    const Addr word = addr / kWordBytes;
+    return static_cast<unsigned>((word * 0x9e3779b97f4a7c15ull >> 40) &
+                                 mask_);
+}
+
+void
+Signature::insert(Addr addr)
+{
+    const unsigned h1 = hash1(addr);
+    const unsigned h2 = hash2(addr);
+    bits_[h1 / 64] |= 1ull << (h1 % 64);
+    bits_[h2 / 64] |= 1ull << (h2 % 64);
+    ++population_;
+}
+
+bool
+Signature::probe(Addr addr) const
+{
+    const unsigned h1 = hash1(addr);
+    const unsigned h2 = hash2(addr);
+    return (bits_[h1 / 64] >> (h1 % 64) & 1) &&
+           (bits_[h2 / 64] >> (h2 % 64) & 1);
+}
+
+void
+Signature::clear()
+{
+    for (auto &word : bits_)
+        word = 0;
+    population_ = 0;
+}
+
+} // namespace icfp

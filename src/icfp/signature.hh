@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Multiprocessor-safety signature (Section 3.3).
+ *
+ * iCFP's checkpointed execution makes its loads vulnerable to stores from
+ * other threads. Rather than an associatively searched load queue, iCFP
+ * keeps a single local address signature: loads that obtained their value
+ * from the cache (the vulnerable ones — forwarded loads are covered by
+ * same-thread ordering) hash their address into the signature; external
+ * stores probe it and squash to the checkpoint on a hit. The signature is
+ * cleared when a rally completes. False positives are safe (spurious
+ * squash); false negatives cannot happen for inserted addresses.
+ */
+
+#ifndef ICFP_ICFP_SIGNATURE_HH
+#define ICFP_ICFP_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Bloom-filter address signature with two hash functions. */
+class Signature
+{
+  public:
+    /** @param bits signature size; must be a power of two */
+    explicit Signature(unsigned bits = 1024);
+
+    /** Record a vulnerable load address. */
+    void insert(Addr addr);
+
+    /** Would an external store to @p addr conflict? */
+    bool probe(Addr addr) const;
+
+    /** Clear at rally completion / squash. */
+    void clear();
+
+    bool empty() const { return population_ == 0; }
+    uint64_t population() const { return population_; }
+
+  private:
+    unsigned hash1(Addr addr) const;
+    unsigned hash2(Addr addr) const;
+
+    std::vector<uint64_t> bits_;
+    unsigned mask_;
+    uint64_t population_ = 0; ///< set-bit insertions (not distinct bits)
+};
+
+} // namespace icfp
+
+#endif // ICFP_ICFP_SIGNATURE_HH

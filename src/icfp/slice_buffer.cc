@@ -1,0 +1,2 @@
+// SliceBuffer is header-only; see slice_buffer.hh.
+#include "icfp/slice_buffer.hh"

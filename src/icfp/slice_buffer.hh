@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The slice buffer (Sections 3, 3.1, 3.4).
+ *
+ * Miss-dependent instructions drain here in program order along with their
+ * miss-independent side inputs. Rally passes walk the buffer from the
+ * head; processed entries are marked un-poisoned in place (never dequeued
+ * and re-enqueued, which would break program order under multithreaded
+ * advance/rally), and entries whose inputs are still unavailable are
+ * simply "re-poisoned" in their existing slots. Space is reclaimed only
+ * from the head, so successive passes make the buffer increasingly sparse
+ * — banking makes skipping un-poisoned entries cheap (modeled as a
+ * skip-bandwidth parameter in the core).
+ */
+
+#ifndef ICFP_ICFP_SLICE_BUFFER_HH
+#define ICFP_ICFP_SLICE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/branch_unit.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/register_file.hh" // PoisonMask
+
+namespace icfp {
+
+/** One deferred miss-dependent instruction and its captured side inputs. */
+struct SliceEntry
+{
+    uint32_t traceIdx = 0;   ///< dynamic instruction this entry defers
+    SeqNum seq = 0;          ///< program-order sequence (global)
+    PoisonMask poison = 0;   ///< poison bits this entry currently waits on
+    bool active = true;      ///< false once successfully re-executed
+
+    // Operand capture: a captured source was miss-independent when the
+    // entry was inserted (or became available during a later pass) and its
+    // value travels with the entry; an uncaptured source is produced by an
+    // older slice instruction — identified by its last-writer sequence
+    // number — and is delivered through the scratch register file / bypass
+    // network during rallies.
+    bool src1Captured = false;
+    bool src2Captured = false;
+    RegVal src1Val = 0;
+    RegVal src2Val = 0;
+    SeqNum src1Producer = 0; ///< producer seq of an uncaptured src1
+    SeqNum src2Producer = 0; ///< producer seq of an uncaptured src2
+
+    Ssn storeSsn = 0;            ///< for stores: the SB entry to resolve
+    BranchPrediction pred{};     ///< for control: fetch-time prediction
+};
+
+/** Program-ordered buffer of deferred slices. */
+class SliceBuffer
+{
+  public:
+    explicit SliceBuffer(unsigned capacity) : capacity_(capacity) {}
+
+    /** Un-reclaimed entries (active or awaiting head reclaim). */
+    size_t occupancy() const { return entries_.size() - head_; }
+    bool full() const { return occupancy() >= capacity_; }
+    size_t activeCount() const { return active_; }
+    bool noneActive() const { return active_ == 0; }
+
+    /** Append a new entry in program order. @pre !full() */
+    SliceEntry &
+    push(const SliceEntry &entry)
+    {
+        ICFP_ASSERT(!full());
+        ICFP_ASSERT(entry.active);
+        entries_.push_back(entry);
+        ++active_;
+        return entries_.back();
+    }
+
+    /** Mark the entry at absolute index @p idx resolved (un-poisoned). */
+    void
+    resolve(size_t idx)
+    {
+        ICFP_ASSERT(idx >= head_ && idx < entries_.size());
+        ICFP_ASSERT(entries_[idx].active);
+        entries_[idx].active = false;
+        entries_[idx].poison = 0;
+        --active_;
+        reclaimHead();
+    }
+
+    /** First un-reclaimed absolute index (pass start position). */
+    size_t headIndex() const { return head_; }
+    /** One past the last entry. */
+    size_t endIndex() const { return entries_.size(); }
+
+    SliceEntry &at(size_t idx)
+    {
+        ICFP_ASSERT(idx >= head_ && idx < entries_.size());
+        return entries_[idx];
+    }
+    const SliceEntry &at(size_t idx) const
+    {
+        ICFP_ASSERT(idx >= head_ && idx < entries_.size());
+        return entries_[idx];
+    }
+
+    /**
+     * Sequence number of the oldest still-active entry; ~0 when none.
+     * Store-buffer drain is gated on this (no store may write the cache
+     * while an older instruction is still deferred).
+     */
+    SeqNum
+    oldestActiveSeq() const
+    {
+        for (size_t i = head_; i < entries_.size(); ++i) {
+            if (entries_[i].active)
+                return entries_[i].seq;
+        }
+        return ~SeqNum{0};
+    }
+
+    /**
+     * Find the (still-buffered) entry with sequence number @p seq by
+     * binary search — entries are pushed in program order. Returns nullptr
+     * if no such un-reclaimed entry exists.
+     */
+    SliceEntry *
+    findBySeq(SeqNum seq)
+    {
+        size_t lo = head_, hi = entries_.size();
+        while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (entries_[mid].seq < seq)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo < entries_.size() && entries_[lo].seq == seq)
+            return &entries_[lo];
+        return nullptr;
+    }
+
+    /** Drop everything (squash / epoch end). */
+    void
+    clear()
+    {
+        entries_.clear();
+        head_ = 0;
+        active_ = 0;
+    }
+
+  private:
+    /** Free leading inactive entries. */
+    void
+    reclaimHead()
+    {
+        while (head_ < entries_.size() && !entries_[head_].active)
+            ++head_;
+        if (head_ == entries_.size())
+            clear();
+    }
+
+    std::vector<SliceEntry> entries_;
+    size_t head_ = 0;
+    size_t active_ = 0;
+    unsigned capacity_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_ICFP_SLICE_BUFFER_HH

@@ -1,0 +1,143 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+FuClass
+fuClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Addi:
+      case Opcode::Andi:
+        return FuClass::IntAlu;
+      case Opcode::Mul:
+        return FuClass::IntMul;
+      case Opcode::Fadd:
+        return FuClass::FpAdd;
+      case Opcode::Fmul:
+        return FuClass::FpMul;
+      case Opcode::Ld:
+      case Opcode::St:
+        return FuClass::Mem;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return FuClass::Branch;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return FuClass::None;
+    }
+    ICFP_PANIC("unknown opcode %d", static_cast<int>(op));
+}
+
+unsigned
+fuLatency(Opcode op)
+{
+    switch (fuClass(op)) {
+      case FuClass::IntAlu:
+        return 1;
+      case FuClass::IntMul:
+        return 4; // Table 1: 4-cycle int multiply
+      case FuClass::FpAdd:
+        return 2; // Table 1: 2-cycle fp-add
+      case FuClass::FpMul:
+        return 4; // Table 1: 4-cycle fp multiply
+      case FuClass::Mem:
+        return 1; // address generation; cache latency is added separately
+      case FuClass::Branch:
+        return 1;
+      case FuClass::None:
+        return 1;
+    }
+    return 1;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Mul: return "mul";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+        os << " r" << int(inst.dst) << ", r" << int(inst.src1) << ", "
+           << inst.imm;
+        break;
+      case Opcode::Ld:
+        os << " r" << int(inst.dst) << ", [r" << int(inst.src1) << " + "
+           << inst.imm << "]";
+        break;
+      case Opcode::St:
+        os << " r" << int(inst.src2) << ", [r" << int(inst.src1) << " + "
+           << inst.imm << "]";
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        os << " r" << int(inst.src1) << ", r" << int(inst.src2) << ", @"
+           << inst.target;
+        break;
+      case Opcode::Jmp:
+        os << " @" << inst.target;
+        break;
+      case Opcode::Call:
+        os << " r" << int(inst.dst) << ", @" << inst.target;
+        break;
+      case Opcode::Ret:
+        os << " r" << int(inst.src1);
+        break;
+      default:
+        os << " r" << int(inst.dst) << ", r" << int(inst.src1) << ", r"
+           << int(inst.src2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace icfp

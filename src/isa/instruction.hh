@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The simulation µISA.
+ *
+ * A compact 64-bit load/store ISA standing in for the paper's Alpha AXP.
+ * It is deliberately small — the phenomena iCFP targets are data-dependence
+ * and memory-access patterns, which this ISA expresses fully — but it is a
+ * real ISA with executable semantics: the golden interpreter (isa/
+ * interpreter.hh) runs programs functionally, and every timing model
+ * carries and checks architectural values through its own mechanisms.
+ *
+ * Register r0 is hardwired to zero. Register r31 is the conventional link
+ * register used by Call.
+ */
+
+#ifndef ICFP_ISA_INSTRUCTION_HH
+#define ICFP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** µISA operations. */
+enum class Opcode : uint8_t {
+    Nop,
+    // Integer ALU, 1-cycle.
+    Add,  ///< dst = src1 + src2
+    Sub,  ///< dst = src1 - src2
+    And,  ///< dst = src1 & src2
+    Or,   ///< dst = src1 | src2
+    Xor,  ///< dst = src1 ^ src2
+    Shl,  ///< dst = src1 << (src2 & 63)
+    Shr,  ///< dst = src1 >> (src2 & 63)
+    Addi, ///< dst = src1 + imm
+    Andi, ///< dst = src1 & imm
+    // Integer multiply, 4-cycle (Table 1).
+    Mul,  ///< dst = src1 * src2
+    // Floating point (bit-pattern arithmetic on the unified file; the
+    // distinction matters only for functional-unit latency/contention).
+    Fadd, ///< dst = src1 + src2, 2-cycle FP adder
+    Fmul, ///< dst = src1 * src2, 4-cycle FP multiplier
+    // Memory. Effective address = (src1 + imm) wrapped to the program's
+    // data segment and aligned down to 8 bytes.
+    Ld,   ///< dst = MEM[EA]
+    St,   ///< MEM[EA] = src2
+    // Control. Branch targets are absolute static instruction indices.
+    Beq,  ///< if (src1 == src2) pc = target
+    Bne,  ///< if (src1 != src2) pc = target
+    Blt,  ///< if (src1 <  src2) pc = target (unsigned)
+    Jmp,  ///< pc = target
+    Call, ///< dst = pc + 1; pc = target (dst conventionally r31)
+    Ret,  ///< pc = src1 (value previously written by Call)
+    Halt, ///< stop the program
+};
+
+/** Functional-unit class an opcode executes on (Table 1 execution model). */
+enum class FuClass : uint8_t {
+    IntAlu, ///< one of 2 integer ALUs, 1-cycle
+    IntMul, ///< integer multiplier, 4-cycle
+    FpAdd,  ///< FP adder, 2-cycle
+    FpMul,  ///< FP multiplier, 4-cycle
+    Mem,    ///< the single load/store port
+    Branch, ///< the single branch unit
+    None,   ///< Nop / Halt
+};
+
+/** One static µISA instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;   ///< destination register, kNoReg if none
+    RegId src1 = kNoReg;  ///< first source, kNoReg if none
+    RegId src2 = kNoReg;  ///< second source, kNoReg if none
+    int64_t imm = 0;      ///< immediate (Addi/Andi/Ld/St displacement)
+    uint32_t target = 0;  ///< branch/jump/call target (instruction index)
+
+    bool isLoad() const { return op == Opcode::Ld; }
+    bool isStore() const { return op == Opcode::St; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
+               op == Opcode::Jmp || op == Opcode::Call || op == Opcode::Ret;
+    }
+    /** Conditional control (outcome depends on register values). */
+    bool
+    isCondBranch() const
+    {
+        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
+    }
+    bool hasDst() const { return dst != kNoReg && dst != 0; }
+};
+
+/** Functional-unit class of @p op. */
+FuClass fuClass(Opcode op);
+
+/** Execution latency, in cycles, of @p op on its FU (memory excluded). */
+unsigned fuLatency(Opcode op);
+
+/** Human-readable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Disassemble one instruction (for debugging / example output). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace icfp
+
+#endif // ICFP_ISA_INSTRUCTION_HH

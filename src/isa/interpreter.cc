@@ -1,0 +1,126 @@
+#include "isa/interpreter.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+RegVal
+Interpreter::evaluate(Opcode op, RegVal a, RegVal b, int64_t imm)
+{
+    switch (op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return a << (b & 63);
+      case Opcode::Shr: return a >> (b & 63);
+      case Opcode::Addi: return a + static_cast<RegVal>(imm);
+      case Opcode::Andi: return a & static_cast<RegVal>(imm);
+      case Opcode::Mul: return a * b;
+      case Opcode::Fadd: return a + b; // bit-pattern arithmetic; FP-ness
+      case Opcode::Fmul: return a * b; // only affects FU latency
+      default:
+        ICFP_PANIC("evaluate() on non-ALU opcode %s", opcodeName(op));
+    }
+}
+
+bool
+Interpreter::branchTaken(Opcode op, RegVal a, RegVal b)
+{
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return a < b;
+      default:
+        ICFP_PANIC("branchTaken() on non-branch opcode %s", opcodeName(op));
+    }
+}
+
+Trace
+Interpreter::run(const Program &program, uint64_t max_insts)
+{
+    Trace trace;
+    trace.program = std::make_shared<Program>(program);
+    trace.insts.reserve(max_insts);
+    trace.finalMemory = program.initialMemory;
+
+    RegFileState regs{};
+    MemoryImage &mem = trace.finalMemory;
+
+    uint32_t pc = 0;
+    const auto code_size = static_cast<uint32_t>(program.code.size());
+
+    for (uint64_t n = 0; n < max_insts; ++n) {
+        ICFP_ASSERT(pc < code_size);
+        const Instruction &si = program.code[pc];
+
+        DynInst di;
+        di.pc = pc;
+        di.op = si.op;
+        di.dst = si.dst;
+        di.src1 = si.src1;
+        di.src2 = si.src2;
+
+        const RegVal a = si.src1 == kNoReg ? 0 : regs[si.src1];
+        const RegVal b = si.src2 == kNoReg ? 0 : regs[si.src2];
+
+        uint32_t next_pc = pc + 1;
+
+        switch (si.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::Halt:
+            di.nextPc = pc;
+            trace.insts.push_back(di);
+            trace.halted = true;
+            trace.finalRegs = regs;
+            return trace;
+          case Opcode::Ld:
+            di.addr = mem.wrap(a + static_cast<RegVal>(si.imm));
+            di.result = mem.read(di.addr);
+            break;
+          case Opcode::St:
+            di.addr = mem.wrap(a + static_cast<RegVal>(si.imm));
+            di.storeValue = b;
+            mem.write(di.addr, b);
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+            di.taken = branchTaken(si.op, a, b);
+            if (di.taken)
+                next_pc = si.target;
+            break;
+          case Opcode::Jmp:
+            di.taken = true;
+            next_pc = si.target;
+            break;
+          case Opcode::Call:
+            di.taken = true;
+            di.result = pc + 1;
+            next_pc = si.target;
+            break;
+          case Opcode::Ret:
+            di.taken = true;
+            next_pc = static_cast<uint32_t>(a);
+            ICFP_ASSERT(next_pc < code_size);
+            break;
+          default:
+            di.result = evaluate(si.op, a, b, si.imm);
+            break;
+        }
+
+        if (si.hasDst())
+            regs[si.dst] = di.result;
+
+        di.nextPc = next_pc;
+        trace.insts.push_back(di);
+        pc = next_pc;
+    }
+
+    trace.finalRegs = regs;
+    return trace;
+}
+
+} // namespace icfp

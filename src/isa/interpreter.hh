@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Golden functional interpreter and the dynamic-instruction trace it emits.
+ *
+ * The interpreter is the reference semantics of the µISA. It executes a
+ * Program and records every retired instruction — with resolved effective
+ * addresses, loaded/stored values, results, and branch outcomes — into a
+ * Trace. Timing models replay the Trace cycle-by-cycle while carrying their
+ * own architectural value state; they assert agreement with the golden
+ * values, which functionally verifies the iCFP merge machinery (chained
+ * store buffer forwarding, sequence-number gating, slice re-execution).
+ */
+
+#ifndef ICFP_ISA_INTERPRETER_HH
+#define ICFP_ISA_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace icfp {
+
+/** One retired dynamic instruction, fully resolved. */
+struct DynInst
+{
+    uint32_t pc = 0;       ///< static instruction index
+    uint32_t nextPc = 0;   ///< index of the next retired instruction
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    Addr addr = 0;         ///< effective address (Ld/St only), wrapped
+    RegVal result = 0;     ///< value written to dst (Ld: the loaded value)
+    RegVal storeValue = 0; ///< value stored (St only)
+    bool taken = false;    ///< control transferred away from pc+1
+
+    bool isLoad() const { return op == Opcode::Ld; }
+    bool isStore() const { return op == Opcode::St; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
+               op == Opcode::Jmp || op == Opcode::Call || op == Opcode::Ret;
+    }
+    bool
+    isCondBranch() const
+    {
+        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
+    }
+    /** Control whose target must come from the BTB/RAS (not the opcode). */
+    bool isIndirect() const { return op == Opcode::Ret; }
+    bool hasDst() const { return dst != kNoReg && dst != 0; }
+};
+
+/** Architectural register file snapshot. */
+using RegFileState = std::array<RegVal, kNumRegs>;
+
+/** A full dynamic execution of a Program. */
+struct Trace
+{
+    /** The executed program (owned, so a Trace never dangles — callers
+     *  may pass temporary Programs to Interpreter::run). */
+    std::shared_ptr<const Program> program;
+    std::vector<DynInst> insts;
+    RegFileState finalRegs{};
+    MemoryImage finalMemory;
+    bool halted = false; ///< reached Halt (vs. instruction budget)
+
+    size_t size() const { return insts.size(); }
+    const DynInst &operator[](size_t i) const { return insts[i]; }
+};
+
+/** Reference functional executor for the µISA. */
+class Interpreter
+{
+  public:
+    /**
+     * Execute @p program from instruction 0 until Halt or until
+     * @p max_insts instructions have retired.
+     *
+     * @param program the static program (not modified)
+     * @param max_insts dynamic instruction budget
+     * @return the complete trace
+     */
+    static Trace run(const Program &program, uint64_t max_insts);
+
+    /**
+     * Compute a single instruction's result value given its operands.
+     * Shared with timing models so slice re-execution produces bit-exact
+     * results.
+     */
+    static RegVal evaluate(Opcode op, RegVal a, RegVal b, int64_t imm);
+
+    /** Branch outcome for a conditional branch. */
+    static bool branchTaken(Opcode op, RegVal a, RegVal b);
+};
+
+} // namespace icfp
+
+#endif // ICFP_ISA_INTERPRETER_HH

@@ -1,0 +1,295 @@
+#include "isa/trace_io.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'C', 'F', 'P', 'T', 'R', 'C', '1'};
+constexpr char kProgMagic[8] = {'I', 'C', 'F', 'P', 'P', 'R', 'G', '1'};
+
+/** Explicit little-endian primitive writer. */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    void
+    u8(uint8_t v)
+    {
+        os_.put(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(static_cast<uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+  private:
+    std::ostream &os_;
+};
+
+/** Explicit little-endian primitive reader; fatal on truncation. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : is_(is) {}
+
+    uint8_t
+    u8()
+    {
+        const int c = is_.get();
+        if (c == std::char_traits<char>::eof())
+            ICFP_FATAL("trace stream truncated");
+        return static_cast<uint8_t>(c);
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    int64_t
+    i64()
+    {
+        return static_cast<int64_t>(u64());
+    }
+
+    std::string
+    str()
+    {
+        const uint32_t len = u32();
+        if (len > (1u << 20))
+            ICFP_FATAL("trace stream corrupt: oversized string");
+        std::string s(len, '\0');
+        is_.read(s.data(), len);
+        if (static_cast<uint32_t>(is_.gcount()) != len)
+            ICFP_FATAL("trace stream truncated");
+        return s;
+    }
+
+  private:
+    std::istream &is_;
+};
+
+void
+writeMemoryImage(Writer &w, const MemoryImage &mem)
+{
+    const size_t bytes = mem.sizeBytes();
+    w.u64(bytes);
+    for (Addr a = 0; a < bytes; a += kWordBytes)
+        w.u64(mem.read(a));
+}
+
+MemoryImage
+readMemoryImage(Reader &r)
+{
+    const uint64_t bytes = r.u64();
+    if (bytes < kWordBytes || (bytes & (bytes - 1)) != 0 ||
+        bytes > (uint64_t{1} << 36)) {
+        ICFP_FATAL("trace stream corrupt: bad memory image size");
+    }
+    MemoryImage mem(bytes);
+    for (Addr a = 0; a < bytes; a += kWordBytes)
+        mem.write(a, r.u64());
+    return mem;
+}
+
+void
+writeProgramBody(Writer &w, const Program &program)
+{
+    w.str(program.name);
+    w.u32(static_cast<uint32_t>(program.code.size()));
+    for (const Instruction &inst : program.code) {
+        w.u8(static_cast<uint8_t>(inst.op));
+        w.u8(inst.dst);
+        w.u8(inst.src1);
+        w.u8(inst.src2);
+        w.i64(inst.imm);
+        w.u32(inst.target);
+    }
+    writeMemoryImage(w, program.initialMemory);
+}
+
+Program
+readProgramBody(Reader &r)
+{
+    Program p;
+    p.name = r.str();
+    const uint32_t count = r.u32();
+    if (count > (1u << 26))
+        ICFP_FATAL("trace stream corrupt: oversized program");
+    p.code.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        Instruction inst;
+        const uint8_t op = r.u8();
+        if (op > static_cast<uint8_t>(Opcode::Halt))
+            ICFP_FATAL("trace stream corrupt: bad opcode");
+        inst.op = static_cast<Opcode>(op);
+        inst.dst = r.u8();
+        inst.src1 = r.u8();
+        inst.src2 = r.u8();
+        inst.imm = r.i64();
+        inst.target = r.u32();
+        p.code.push_back(inst);
+    }
+    p.initialMemory = readMemoryImage(r);
+    return p;
+}
+
+void
+checkMagic(Reader &r, const char (&magic)[8], const char *what)
+{
+    for (char expected : magic) {
+        if (static_cast<char>(r.u8()) != expected)
+            ICFP_FATAL("not a %s file (bad magic)", what);
+    }
+}
+
+} // namespace
+
+void
+writeProgram(std::ostream &os, const Program &program)
+{
+    Writer w(os);
+    os.write(kProgMagic, sizeof(kProgMagic));
+    writeProgramBody(w, program);
+}
+
+Program
+readProgram(std::istream &is)
+{
+    Reader r(is);
+    checkMagic(r, kProgMagic, "program");
+    return readProgramBody(r);
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    ICFP_ASSERT(trace.program != nullptr);
+    Writer w(os);
+    os.write(kMagic, sizeof(kMagic));
+    writeProgramBody(w, *trace.program);
+
+    w.u64(trace.insts.size());
+    for (const DynInst &di : trace.insts) {
+        w.u32(di.pc);
+        w.u32(di.nextPc);
+        w.u8(static_cast<uint8_t>(di.op));
+        w.u8(di.dst);
+        w.u8(di.src1);
+        w.u8(di.src2);
+        w.u64(di.addr);
+        w.u64(di.result);
+        w.u64(di.storeValue);
+        w.u8(di.taken ? 1 : 0);
+    }
+
+    for (RegVal v : trace.finalRegs)
+        w.u64(v);
+    writeMemoryImage(w, trace.finalMemory);
+    w.u8(trace.halted ? 1 : 0);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    Reader r(is);
+    checkMagic(r, kMagic, "trace");
+
+    Trace trace;
+    trace.program = std::make_shared<Program>(readProgramBody(r));
+
+    const uint64_t count = r.u64();
+    if (count > (uint64_t{1} << 32))
+        ICFP_FATAL("trace stream corrupt: oversized trace");
+    trace.insts.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        DynInst di;
+        di.pc = r.u32();
+        di.nextPc = r.u32();
+        const uint8_t op = r.u8();
+        if (op > static_cast<uint8_t>(Opcode::Halt))
+            ICFP_FATAL("trace stream corrupt: bad opcode");
+        di.op = static_cast<Opcode>(op);
+        di.dst = r.u8();
+        di.src1 = r.u8();
+        di.src2 = r.u8();
+        di.addr = r.u64();
+        di.result = r.u64();
+        di.storeValue = r.u64();
+        di.taken = r.u8() != 0;
+        trace.insts.push_back(di);
+    }
+
+    for (RegVal &v : trace.finalRegs)
+        v = r.u64();
+    trace.finalMemory = readMemoryImage(r);
+    trace.halted = r.u8() != 0;
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        ICFP_FATAL("cannot open %s for writing", path.c_str());
+    writeTrace(os, trace);
+    os.flush();
+    if (!os)
+        ICFP_FATAL("write to %s failed", path.c_str());
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ICFP_FATAL("cannot open %s", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace icfp

@@ -1,0 +1,264 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params),
+      victims_(params.victimEntries)
+{
+    ICFP_ASSERT(std::has_single_bit(params.lineBytes));
+    ICFP_ASSERT(params.sizeBytes % (params.lineBytes * params.associativity)
+                == 0);
+    numSets_ = static_cast<unsigned>(
+        params.sizeBytes / (params.lineBytes * params.associativity));
+    ICFP_ASSERT(std::has_single_bit(numSets_));
+    lineMask_ = params.lineBytes - 1;
+    lineShift_ = static_cast<unsigned>(std::countr_zero(params.lineBytes));
+    lines_.resize(size_t{numSets_} * params.associativity);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> lineShift_) & (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[size_t{set} * params_.associativity];
+    for (unsigned way = 0; way < params_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, Cycle now, bool is_write)
+{
+    ++stats_.accesses;
+    CacheAccessResult result;
+
+    if (Line *line = findLine(addr)) {
+        line->lruStamp = ++stamp_;
+        if (is_write)
+            line->dirty = true;
+        if (line->readyAt > now) {
+            ++stats_.inFlightHits;
+            result.outcome = CacheOutcome::InFlightHit;
+            result.readyAt = line->readyAt;
+        } else {
+            ++stats_.hits;
+            result.outcome = CacheOutcome::Hit;
+            result.readyAt = now;
+        }
+        return result;
+    }
+
+    // Victim buffer search (parallel with the tag check in hardware).
+    const Addr la = lineAddr(addr);
+    for (VictimEntry &entry : victims_) {
+        if (entry.valid && entry.lineAddr == la) {
+            ++stats_.victimHits;
+            // Swap back into the set.
+            entry.valid = false;
+            fill(addr, entry.readyAt, now, entry.dirty || is_write);
+            result.outcome = CacheOutcome::VictimHit;
+            result.readyAt = now;
+            return result;
+        }
+    }
+
+    ++stats_.misses;
+    result.outcome = CacheOutcome::Miss;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    if (findLine(addr))
+        return true;
+    const Addr la = lineAddr(addr);
+    for (const VictimEntry &entry : victims_) {
+        if (entry.valid && entry.lineAddr == la)
+            return true;
+    }
+    return false;
+}
+
+CacheFillResult
+Cache::evictToVictimBuffer(const Line &line, Addr line_addr)
+{
+    CacheFillResult result;
+    if (victims_.empty()) {
+        if (line.dirty) {
+            result.writeback = true;
+            result.writebackAddr = line_addr;
+            ++stats_.writebacks;
+        }
+        return result;
+    }
+
+    // Find a free victim slot, else eject the oldest.
+    VictimEntry *slot = nullptr;
+    VictimEntry *oldest = &victims_[0];
+    for (VictimEntry &entry : victims_) {
+        if (!entry.valid) {
+            slot = &entry;
+            break;
+        }
+        if (entry.fifoStamp < oldest->fifoStamp)
+            oldest = &entry;
+    }
+    if (slot == nullptr) {
+        slot = oldest;
+        if (slot->dirty) {
+            result.writeback = true;
+            result.writebackAddr = slot->lineAddr;
+            ++stats_.writebacks;
+        }
+    }
+    slot->valid = true;
+    slot->lineAddr = line_addr;
+    slot->readyAt = line.readyAt;
+    slot->dirty = line.dirty;
+    slot->fifoStamp = ++stamp_;
+    return result;
+}
+
+CacheFillResult
+Cache::fill(Addr addr, Cycle ready_at, Cycle now, bool dirty)
+{
+    ++stats_.fills;
+    CacheFillResult result;
+
+    if (Line *line = findLine(addr)) {
+        // Already present (e.g. racing fills); refresh metadata.
+        line->readyAt = std::min(line->readyAt, ready_at);
+        line->dirty = line->dirty || dirty;
+        line->lruStamp = ++stamp_;
+        return result;
+    }
+
+    const unsigned set = setIndex(addr);
+    Line *base = &lines_[size_t{set} * params_.associativity];
+    Line *victim = nullptr;
+    for (unsigned way = 0; way < params_.associativity; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        for (unsigned way = 0; way < params_.associativity; ++way) {
+            Line &cand = base[way];
+            // Pinned lines (SLTP speculative writes) and lines whose fill
+            // is still in flight (MSHR-held) are not eviction candidates —
+            // hardware cannot evict a line that has not arrived yet.
+            if (cand.pinned || cand.readyAt > now)
+                continue;
+            if (victim == nullptr || cand.lruStamp < victim->lruStamp)
+                victim = &cand;
+        }
+    }
+    if (victim == nullptr) {
+        // Every way is pinned or in flight: drop the fill (the requester
+        // still gets its data with the computed latency; the line simply
+        // is not installed — the per-set MSHR-conflict case).
+        return result;
+    }
+
+    if (victim->valid) {
+        const Addr victim_addr = victim->tag << lineShift_;
+        result = evictToVictimBuffer(*victim, victim_addr);
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->readyAt = ready_at;
+    victim->dirty = dirty;
+    victim->pinned = false;
+    victim->lruStamp = ++stamp_;
+    return result;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    bool dropped = false;
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->pinned = false;
+        dropped = true;
+    }
+    const Addr la = lineAddr(addr);
+    for (VictimEntry &entry : victims_) {
+        if (entry.valid && entry.lineAddr == la) {
+            entry.valid = false;
+            dropped = true;
+        }
+    }
+    return dropped;
+}
+
+void
+Cache::setPinned(Addr addr, bool pinned)
+{
+    if (Line *line = findLine(addr))
+        line->pinned = pinned;
+}
+
+bool
+Cache::isPinned(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line != nullptr && line->pinned;
+}
+
+unsigned
+Cache::flushPinned()
+{
+    unsigned flushed = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.pinned) {
+            line.valid = false;
+            line.pinned = false;
+            ++flushed;
+        }
+    }
+    return flushed;
+}
+
+bool
+Cache::setFullyPinned(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Line *base = &lines_[size_t{set} * params_.associativity];
+    for (unsigned way = 0; way < params_.associativity; ++way) {
+        if (!base[way].valid || !base[way].pinned)
+            return false;
+    }
+    return true;
+}
+
+} // namespace icfp

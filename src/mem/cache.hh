@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Timing model of one set-associative cache level with an attached victim
+ * buffer (Table 1: I$/D$ are 32KB 4-way 64B-line with an 8-entry victim
+ * buffer; L2 is 1MB 8-way 128B-line with a 4-entry victim buffer).
+ *
+ * The cache is timing-only: it tracks presence, LRU order, dirtiness and
+ * per-line fill times, never data values (architectural values live in the
+ * golden trace and in each core's own state). Lines are installed at access
+ * time with a future readyAt; a later access to an in-flight line models an
+ * MSHR merge by returning the remaining fill latency.
+ *
+ * SLTP support: lines can be pinned ("speculatively written", Section 4 of
+ * the paper); pinned lines are never chosen as victims, and can be flushed
+ * wholesale when an SLTP rally begins.
+ */
+
+#ifndef ICFP_MEM_CACHE_HH
+#define ICFP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Geometry/behaviour of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    size_t sizeBytes = 32 * 1024;
+    unsigned associativity = 4;
+    unsigned lineBytes = 64;
+    unsigned victimEntries = 8;
+};
+
+/** What a lookup found. */
+enum class CacheOutcome : uint8_t {
+    Hit,        ///< present and ready
+    InFlightHit,///< present but still filling (MSHR merge)
+    VictimHit,  ///< found in the victim buffer; swapped back in
+    Miss,
+};
+
+/** Result of Cache::access(). */
+struct CacheAccessResult
+{
+    CacheOutcome outcome = CacheOutcome::Miss;
+    Cycle readyAt = 0; ///< for InFlightHit: when the line's data arrives
+};
+
+/** Result of Cache::fill(): the eviction it caused, if any. */
+struct CacheFillResult
+{
+    bool writeback = false; ///< a dirty line left the cache+victim buffer
+    Addr writebackAddr = 0;
+};
+
+/** Running per-level counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t inFlightHits = 0;
+    uint64_t victimHits = 0;
+    uint64_t misses = 0;
+    uint64_t fills = 0;
+    uint64_t writebacks = 0;
+};
+
+/** One set-associative, LRU, write-back cache level with victim buffer. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Align @p addr down to this cache's line. */
+    Addr lineAddr(Addr addr) const { return addr & ~Addr{lineMask_}; }
+
+    /**
+     * Look up @p addr at time @p now, updating LRU.
+     * @param is_write marks the line dirty on hit
+     */
+    CacheAccessResult access(Addr addr, Cycle now, bool is_write);
+
+    /** Tag probe without any state change. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Install the line containing @p addr, available at @p ready_at.
+     * Evicts an existing line to the victim buffer if needed; lines whose
+     * own fills are still in flight at @p now (MSHR-held) are not
+     * eviction candidates.
+     */
+    CacheFillResult fill(Addr addr, Cycle ready_at, Cycle now,
+                         bool dirty = false);
+
+    /** Invalidate the line containing @p addr everywhere (incl. victim).
+     *  @return true if a line was dropped. */
+    bool invalidate(Addr addr);
+
+    /** Pin/unpin the line for SLTP speculative writes. No-op on miss. */
+    void setPinned(Addr addr, bool pinned);
+
+    /** Is the line containing @p addr present and pinned? */
+    bool isPinned(Addr addr) const;
+
+    /**
+     * Invalidate every pinned line (SLTP flushes speculatively written
+     * lines when a rally begins). @return number of lines dropped.
+     */
+    unsigned flushPinned();
+
+    /** True if every way of @p addr's set is pinned (SLTP must stall). */
+    bool setFullyPinned(Addr addr) const;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Cycle readyAt = 0;
+        uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool pinned = false;
+    };
+
+    struct VictimEntry
+    {
+        Addr lineAddr = 0;
+        Cycle readyAt = 0;
+        uint64_t fifoStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /** Move @p line out of the set into the victim buffer.
+     *  @return writeback event if the victim buffer ejected a dirty line */
+    CacheFillResult evictToVictimBuffer(const Line &line, Addr line_addr);
+
+    CacheParams params_;
+    std::vector<Line> lines_;  ///< sets * ways, row-major by set
+    std::vector<VictimEntry> victims_;
+    unsigned numSets_;
+    Addr lineMask_;
+    unsigned lineShift_;
+    uint64_t stamp_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_MEM_CACHE_HH

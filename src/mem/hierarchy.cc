@@ -1,0 +1,168 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+MemHierarchy::MemHierarchy(const MemParams &params)
+    : params_(params),
+      dcache_(std::make_unique<Cache>(params.dcache)),
+      l2_(std::make_unique<Cache>(params.l2)),
+      memory_(params.memory),
+      prefetcher_(std::make_unique<StreamPrefetcher>(params.prefetcher,
+                                                     memory_)),
+      mshrs_(params.mshrEntries, params.poisonBits)
+{
+}
+
+MemAccessResult
+MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
+{
+    MemAccessResult result;
+
+    // --- D$ lookup ------------------------------------------------------
+    const CacheAccessResult d1 = dcache_->access(addr, now, is_write);
+    switch (d1.outcome) {
+      case CacheOutcome::Hit:
+      case CacheOutcome::VictimHit:
+        result.level = MemLevel::Dcache;
+        result.doneAt = now + params_.dcacheHitLatency;
+        return result;
+      case CacheOutcome::InFlightHit: {
+        // Secondary access to a line already being filled.
+        result.level = MemLevel::DcacheInFlight;
+        result.doneAt = std::max(d1.readyAt, now + params_.dcacheHitLatency);
+        MshrResult mshr;
+        if (mshrs_.lookup(dcache_->lineAddr(addr), now, &mshr))
+            result.poisonBit = mshr.poisonBit;
+        ++stats_.dcacheMerges;
+        return result;
+      }
+      case CacheOutcome::Miss:
+        break;
+    }
+
+    // --- MSHR merge check -------------------------------------------------
+    const Addr d_line = dcache_->lineAddr(addr);
+    {
+        MshrResult mshr;
+        if (mshrs_.lookup(d_line, now, &mshr)) {
+            result.level = MemLevel::DcacheInFlight;
+            result.doneAt =
+                std::max(mshr.fillAt, now + params_.dcacheHitLatency);
+            result.poisonBit = mshr.poisonBit;
+            ++stats_.dcacheMerges;
+            return result;
+        }
+    }
+
+    // New demand D$ miss.
+    result.dcacheMiss = true;
+    ++stats_.dcacheMisses;
+
+    // Wait for a free MSHR if the file is full.
+    Cycle issue = now;
+    for (;;) {
+        const Cycle earliest = mshrs_.earliestFill();
+        if (mshrs_.outstanding(issue) <
+            static_cast<size_t>(params_.mshrEntries))
+            break;
+        ICFP_ASSERT(earliest != kCycleNever);
+        issue = earliest;
+    }
+
+    // --- L2 lookup (after the D$ tag check) ------------------------------
+    const Cycle l2_access = issue + params_.dcacheHitLatency;
+    const CacheAccessResult l2r = l2_->access(addr, l2_access, is_write);
+    Cycle data_at;
+    switch (l2r.outcome) {
+      case CacheOutcome::Hit:
+      case CacheOutcome::VictimHit:
+        result.level = MemLevel::L2;
+        data_at = issue + params_.l2HitLatency;
+        break;
+      case CacheOutcome::InFlightHit:
+        result.level = MemLevel::L2;
+        data_at = std::max(l2r.readyAt, issue + params_.l2HitLatency);
+        break;
+      case CacheOutcome::Miss:
+      default: {
+        // Stream buffers are probed on the demand L2 miss.
+        const PrefetchHit pf = prefetcher_->demandMiss(addr, l2_access);
+        if (pf.hit) {
+            result.level = MemLevel::Prefetch;
+            ++stats_.prefetchHits;
+            data_at = std::max(pf.readyAt, issue + params_.l2HitLatency);
+            // Install in L2 as if a fill.
+            const CacheFillResult wb = l2_->fill(addr, data_at, l2_access);
+            if (wb.writeback)
+                memory_.writeback(data_at, params_.l2.lineBytes);
+        } else {
+            result.level = MemLevel::Memory;
+            result.l2Miss = true;
+            ++stats_.l2Misses;
+            const MemoryResponse resp =
+                memory_.read(l2_access, params_.l2.lineBytes);
+            data_at = resp.criticalChunkAt;
+            const CacheFillResult wb =
+                l2_->fill(addr, resp.lineCompleteAt, l2_access);
+            if (wb.writeback)
+                memory_.writeback(resp.lineCompleteAt,
+                                  params_.l2.lineBytes);
+            l2Mlp_.record(issue, data_at);
+        }
+        break;
+      }
+    }
+
+    // --- D$ fill ----------------------------------------------------------
+    const CacheFillResult d_wb =
+        dcache_->fill(addr, data_at, issue, is_write);
+    if (d_wb.writeback) {
+        // D$ victim writebacks go to the L2; model L2 as absorbing them
+        // (write-back hit) unless the line is gone, in which case they
+        // consume memory bandwidth.
+        if (!l2_->probe(d_wb.writebackAddr))
+            memory_.writeback(data_at, params_.dcache.lineBytes);
+        else
+            l2_->access(d_wb.writebackAddr, data_at, true);
+    }
+
+    // Allocate the MSHR covering the fill window.
+    const MshrResult alloc = mshrs_.allocate(d_line, issue, data_at);
+    result.poisonBit = alloc.poisonBit;
+
+    result.doneAt = std::max(data_at, now + params_.dcacheHitLatency);
+    dcacheMlp_.record(issue, result.doneAt);
+    return result;
+}
+
+MemAccessResult
+MemHierarchy::load(Addr addr, Cycle now)
+{
+    ++stats_.loads;
+    MemAccessResult r = accessImpl(addr, now, false);
+    r.effDcacheMiss = r.doneAt > now + params_.dcacheHitLatency;
+    r.effL2Miss = r.doneAt > now + params_.l2HitLatency;
+    return r;
+}
+
+MemAccessResult
+MemHierarchy::store(Addr addr, Cycle now)
+{
+    ++stats_.stores;
+    MemAccessResult r = accessImpl(addr, now, true);
+    r.effDcacheMiss = r.doneAt > now + params_.dcacheHitLatency;
+    r.effL2Miss = r.doneAt > now + params_.l2HitLatency;
+    return r;
+}
+
+void
+MemHierarchy::resetStats()
+{
+    stats_ = HierarchyStats{};
+    dcacheMlp_.reset();
+    l2Mlp_.reset();
+}
+
+} // namespace icfp

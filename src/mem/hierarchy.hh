@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The composed two-level memory hierarchy used by every timing core:
+ * D$ (+victim buffer) -> L2 (+victim buffer, stream prefetchers) -> memory
+ * bus, with a shared 64-entry MSHR file (Table 1).
+ *
+ * The hierarchy is timing-only (values live in the golden trace and in
+ * the cores' own state). It also owns the per-level MLP integrators that
+ * reproduce the D$/L2 MLP columns of Table 2.
+ */
+
+#ifndef ICFP_MEM_HIERARCHY_HH
+#define ICFP_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/main_memory.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetcher.hh"
+
+namespace icfp {
+
+/** Full hierarchy configuration, defaulted to Table 1. */
+struct MemParams
+{
+    CacheParams dcache{
+        .name = "dcache",
+        .sizeBytes = 32 * 1024,
+        .associativity = 4,
+        .lineBytes = 64,
+        .victimEntries = 8,
+    };
+    CacheParams l2{
+        .name = "l2",
+        .sizeBytes = 1024 * 1024,
+        .associativity = 8,
+        .lineBytes = 128,
+        .victimEntries = 4,
+    };
+    MemoryParams memory{};
+    PrefetcherParams prefetcher{};
+    Cycle dcacheHitLatency = 3; ///< Table 1: 3 D$ pipeline stages
+    Cycle l2HitLatency = 20;    ///< Table 1: 20-cycle L2 hit
+    unsigned mshrEntries = 64;
+    unsigned poisonBits = 8;    ///< poison-vector width (Section 3.4)
+};
+
+/** Where a request was ultimately satisfied. */
+enum class MemLevel : uint8_t {
+    Dcache,        ///< D$ hit (or victim-buffer hit)
+    DcacheInFlight,///< merged with an in-flight D$ fill (secondary miss)
+    L2,            ///< L2 hit
+    Prefetch,      ///< stream-buffer hit
+    Memory,        ///< full L2 miss
+};
+
+/** Timing result of one data access. */
+struct MemAccessResult
+{
+    Cycle doneAt = 0;        ///< when the value is usable / store complete
+    MemLevel level = MemLevel::Dcache;
+    bool dcacheMiss = false; ///< demand-missed the D$ (new miss, not merge)
+    bool l2Miss = false;     ///< went to memory (not covered by prefetch)
+    unsigned poisonBit = 0;  ///< MSHR-assigned poison bit (misses only)
+
+    // Effective miss classification as the pipeline sees it: latency-
+    // based, so an in-flight merge about to complete or a stream-buffer
+    // block that already arrived behaves like the hit it effectively is.
+    bool effDcacheMiss = false; ///< data later than a D$ hit would be
+    bool effL2Miss = false;     ///< data later than an L2 hit would be
+
+    /** Is this a "miss" for advance-mode entry/poison decisions? */
+    bool missedDcache() const { return effDcacheMiss; }
+    bool missedL2() const { return effL2Miss; }
+};
+
+/** Demand counters for the whole hierarchy. */
+struct HierarchyStats
+{
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t dcacheMisses = 0;  ///< demand D$ misses (merges excluded)
+    uint64_t dcacheMerges = 0;  ///< secondary misses merged into MSHRs
+    uint64_t l2Misses = 0;      ///< demand misses that reached memory
+    uint64_t prefetchHits = 0;  ///< demand L2 misses covered by a stream
+};
+
+/** The composed hierarchy. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemParams &params = MemParams{});
+
+    /** Timing for a demand load of the word at @p addr issued at @p now. */
+    MemAccessResult load(Addr addr, Cycle now);
+
+    /**
+     * Timing for a store (write-allocate, write-back): the returned doneAt
+     * is when the line is present and written, i.e. when a store-buffer
+     * entry could drain.
+     */
+    MemAccessResult store(Addr addr, Cycle now);
+
+    /** Component access for scheme-specific behaviour (SLTP pinning...). */
+    Cache &dcache() { return *dcache_; }
+    Cache &l2cache() { return *l2_; }
+    StreamPrefetcher &prefetcher() { return *prefetcher_; }
+    MainMemory &memory() { return memory_; }
+
+    const HierarchyStats &stats() const { return stats_; }
+    const MemParams &params() const { return params_; }
+
+    /** Average outstanding D$ misses while any is outstanding (Table 2). */
+    double dcacheMlp() const { return dcacheMlp_.mlp(); }
+    /** Average outstanding L2 misses while any is outstanding (Table 2). */
+    double l2Mlp() const { return l2Mlp_.mlp(); }
+
+    /** Zero all counters and MLP integrators (end of warmup). */
+    void resetStats();
+
+  private:
+    /** Common load/store machinery. */
+    MemAccessResult accessImpl(Addr addr, Cycle now, bool is_write);
+
+    MemParams params_;
+    std::unique_ptr<Cache> dcache_;
+    std::unique_ptr<Cache> l2_;
+    MainMemory memory_;
+    std::unique_ptr<StreamPrefetcher> prefetcher_;
+    MshrFile mshrs_;
+    HierarchyStats stats_;
+    MlpIntegrator dcacheMlp_;
+    MlpIntegrator l2Mlp_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_MEM_HIERARCHY_HH

@@ -1,0 +1,49 @@
+#include "mem/main_memory.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+MemoryResponse
+MainMemory::read(Cycle now, unsigned line_bytes)
+{
+    ++reads_;
+    const unsigned chunks =
+        (line_bytes + params_.chunkBytes - 1) / params_.chunkBytes;
+    const Cycle occupancy = params_.cyclesPerChunk * chunks;
+
+    // Claim an outstanding-request slot first: if all are busy, the
+    // request effectively queues until the earliest completion.
+    while (!completions_.empty() && completions_.top() <= now)
+        completions_.pop();
+    Cycle start = now;
+    while (completions_.size() >= params_.maxOutstanding) {
+        start = std::max(start, completions_.top());
+        completions_.pop();
+    }
+
+    // The DRAM access proceeds in parallel with older transfers; the data
+    // bus serializes the actual chunk delivery.
+    const Cycle first_chunk = std::max(start + params_.accessLatency,
+                                       busFreeAt_ + params_.cyclesPerChunk);
+    const Cycle line_done = first_chunk + occupancy - params_.cyclesPerChunk;
+    busFreeAt_ = line_done;
+    completions_.push(line_done);
+
+    MemoryResponse resp;
+    resp.criticalChunkAt = first_chunk;
+    resp.lineCompleteAt = line_done;
+    return resp;
+}
+
+void
+MainMemory::writeback(Cycle now, unsigned line_bytes)
+{
+    ++writebacks_;
+    const unsigned chunks =
+        (line_bytes + params_.chunkBytes - 1) / params_.chunkBytes;
+    const Cycle occupancy = params_.cyclesPerChunk * chunks;
+    busFreeAt_ = std::max(busFreeAt_, now) + occupancy;
+}
+
+} // namespace icfp

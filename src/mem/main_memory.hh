@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Main memory and memory-bus timing (Table 1: 400-cycle latency to the
+ * first 16 bytes, 4 cycles per additional 16-byte chunk, 64 outstanding
+ * misses).
+ *
+ * The bus serializes line transfers: each transfer occupies the data bus
+ * for 4 cycles per 16-byte chunk, so a 128-byte L2 line occupies it for 32
+ * cycles — which is exactly why the paper notes the practical L2 MLP limit
+ * of ~12 (400 / 32).
+ */
+
+#ifndef ICFP_MEM_MAIN_MEMORY_HH
+#define ICFP_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Main memory configuration. */
+struct MemoryParams
+{
+    Cycle accessLatency = 400;  ///< request to first 16-byte chunk
+    Cycle cyclesPerChunk = 4;   ///< per additional 16-byte chunk
+    unsigned chunkBytes = 16;
+    unsigned maxOutstanding = 64;
+};
+
+/** Completion times for one memory read. */
+struct MemoryResponse
+{
+    Cycle criticalChunkAt = 0;  ///< first (critical) chunk arrives
+    Cycle lineCompleteAt = 0;   ///< whole line transferred
+};
+
+/** Bandwidth- and occupancy-limited DRAM model. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MemoryParams &params = MemoryParams{})
+        : params_(params)
+    {}
+
+    /**
+     * Issue a read of @p line_bytes at @p now.
+     * Accounts for the 64-outstanding limit and bus serialization.
+     * @pre requests are issued in non-decreasing @p now order
+     */
+    MemoryResponse read(Cycle now, unsigned line_bytes);
+
+    /**
+     * Issue a writeback of @p line_bytes at @p now; occupies the bus but
+     * completes asynchronously (no one waits on it).
+     */
+    void writeback(Cycle now, unsigned line_bytes);
+
+    uint64_t reads() const { return reads_; }
+    uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    MemoryParams params_;
+    Cycle busFreeAt_ = 0;  ///< when the data bus can start a new transfer
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        completions_;       ///< outstanding request completion times
+    uint64_t reads_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace icfp
+
+#endif // ICFP_MEM_MAIN_MEMORY_HH

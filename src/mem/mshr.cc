@@ -1,0 +1,3 @@
+// MshrFile is header-only; this translation unit exists so the build
+// system has a home for future out-of-line definitions.
+#include "mem/mshr.hh"

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Miss status holding register file.
+ *
+ * Tracks in-flight line fills so that secondary misses to an in-flight
+ * line merge instead of issuing duplicate memory requests, and bounds the
+ * number of simultaneously outstanding misses (Table 1: 64).
+ *
+ * iCFP's poison-bitvector optimization (Section 3.4) allocates poison bits
+ * per MSHR: the MshrFile therefore hands out a small round-robin bit index
+ * with each allocation.
+ */
+
+#ifndef ICFP_MEM_MSHR_HH
+#define ICFP_MEM_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Outcome of an MSHR lookup/allocate. */
+struct MshrResult
+{
+    bool merged = false;   ///< an in-flight fill for this line existed
+    bool allocated = false;///< a new MSHR was taken
+    bool full = false;     ///< no MSHR free; caller must retry later
+    Cycle fillAt = 0;      ///< when the line's data arrives (if not full)
+    unsigned poisonBit = 0;///< round-robin poison bit id for this MSHR
+};
+
+/** Bounded file of in-flight line fills, keyed by line address. */
+class MshrFile
+{
+  public:
+    /**
+     * @param num_entries outstanding-miss bound
+     * @param poison_bits how many poison-vector bits to rotate across
+     */
+    MshrFile(unsigned num_entries, unsigned poison_bits)
+        : numEntries_(num_entries), poisonBits_(poison_bits)
+    {}
+
+    /** Is a fill of @p line_addr already in flight at @p now? */
+    bool
+    lookup(Addr line_addr, Cycle now, MshrResult *out) const
+    {
+        retireBefore(now);
+        auto it = inflight_.find(line_addr);
+        if (it == inflight_.end())
+            return false;
+        out->merged = true;
+        out->fillAt = it->second.fillAt;
+        out->poisonBit = it->second.poisonBit;
+        return true;
+    }
+
+    /**
+     * Allocate an MSHR for @p line_addr completing at @p fill_at.
+     * @pre no in-flight entry for the line (check lookup() first).
+     */
+    MshrResult
+    allocate(Addr line_addr, Cycle now, Cycle fill_at)
+    {
+        retireBefore(now);
+        MshrResult result;
+        if (inflight_.size() >= numEntries_) {
+            result.full = true;
+            return result;
+        }
+        Entry entry;
+        entry.fillAt = fill_at;
+        entry.poisonBit = nextPoisonBit_;
+        nextPoisonBit_ = (nextPoisonBit_ + 1) % poisonBits_;
+        inflight_.emplace(line_addr, entry);
+        result.allocated = true;
+        result.fillAt = fill_at;
+        result.poisonBit = entry.poisonBit;
+        return result;
+    }
+
+    /** Earliest in-flight completion, or kCycleNever if none. */
+    Cycle
+    earliestFill() const
+    {
+        Cycle earliest = kCycleNever;
+        for (const auto &[addr, entry] : inflight_)
+            earliest = std::min(earliest, entry.fillAt);
+        return earliest;
+    }
+
+    size_t outstanding(Cycle now) const
+    {
+        retireBefore(now);
+        return inflight_.size();
+    }
+
+    void
+    clear()
+    {
+        inflight_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        Cycle fillAt = 0;
+        unsigned poisonBit = 0;
+    };
+
+    /** Drop entries whose fills have completed. */
+    void
+    retireBefore(Cycle now) const
+    {
+        for (auto it = inflight_.begin(); it != inflight_.end();) {
+            if (it->second.fillAt <= now)
+                it = inflight_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    mutable std::unordered_map<Addr, Entry> inflight_;
+    unsigned numEntries_;
+    unsigned poisonBits_;
+    unsigned nextPoisonBit_ = 0;
+};
+
+} // namespace icfp
+
+#endif // ICFP_MEM_MSHR_HH

@@ -1,0 +1,86 @@
+#include "mem/prefetcher.hh"
+
+namespace icfp {
+
+void
+StreamPrefetcher::refill(Stream &stream, Cycle now)
+{
+    while (stream.blocks.size() < params_.blocksPerStream) {
+        const MemoryResponse resp = memory_.read(now, params_.blockBytes);
+        Block block;
+        block.blockAddr = stream.nextAddr;
+        block.readyAt = resp.lineCompleteAt;
+        stream.blocks.push_back(block);
+        stream.nextAddr += params_.blockBytes;
+        ++stats_.issued;
+    }
+}
+
+PrefetchHit
+StreamPrefetcher::demandMiss(Addr addr, Cycle now)
+{
+    PrefetchHit result;
+    if (!params_.enabled)
+        return result;
+
+    ++stats_.probes;
+    const Addr block = blockAddr(addr);
+
+    // Search stream heads (hardware probes them in parallel); a shallow
+    // deeper match tolerates small non-unit strides.
+    for (Stream &stream : streams_) {
+        if (!stream.valid)
+            continue;
+        const size_t depth_limit =
+            std::min<size_t>(stream.blocks.size(), params_.matchDepth);
+        for (size_t depth = 0; depth < depth_limit; ++depth) {
+            if (stream.blocks[depth].blockAddr == block) {
+                ++stats_.hits;
+                result.hit = true;
+                result.readyAt = std::max(now, stream.blocks[depth].readyAt);
+                // Consume this block and everything older.
+                stream.blocks.erase(stream.blocks.begin(),
+                                    stream.blocks.begin() +
+                                        static_cast<long>(depth + 1));
+                stream.lruStamp = ++stamp_;
+                refill(stream, now);
+                return result;
+            }
+        }
+    }
+
+    // Confirmation filter: allocate a stream only when this miss extends
+    // a recently recorded one (two sequential misses).
+    bool confirmed = false;
+    for (const Addr recent : recentMisses_) {
+        if (recent == block - params_.blockBytes ||
+            recent == block - 2 * params_.blockBytes) {
+            confirmed = true;
+            break;
+        }
+    }
+    recentMisses_[recentPos_] = block;
+    recentPos_ = (recentPos_ + 1) % recentMisses_.size();
+    if (!confirmed)
+        return result;
+
+    // Allocate the LRU stream starting after this block.
+    Stream *victim = &streams_[0];
+    for (Stream &stream : streams_) {
+        if (!stream.valid) {
+            victim = &stream;
+            break;
+        }
+        if (stream.lruStamp < victim->lruStamp)
+            victim = &stream;
+    }
+    victim->valid = true;
+    victim->blocks.clear();
+    victim->nextAddr = block + params_.blockBytes;
+    victim->lruStamp = ++stamp_;
+    ++stats_.allocations;
+    refill(*victim, now);
+    return result;
+}
+
+} // namespace icfp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hardware stream-buffer prefetcher (Table 1: "8 stream buffers with 8
+ * 128-byte blocks each"), sitting beside the L2.
+ *
+ * On an L2 demand miss the prefetcher checks its streams; a head hit
+ * supplies the block (at whatever point its in-flight fill has reached),
+ * consumes it, and extends the stream by one block. A miss in all streams
+ * allocates a new stream (LRU) starting at the next sequential block.
+ */
+
+#ifndef ICFP_MEM_PREFETCHER_HH
+#define ICFP_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/main_memory.hh"
+
+namespace icfp {
+
+/** Stream prefetcher configuration. */
+struct PrefetcherParams
+{
+    unsigned numStreams = 8;
+    unsigned blocksPerStream = 8;
+    unsigned blockBytes = 128;
+    /** How deep into a stream buffer a demand miss may match; real
+     *  stream buffers compare only the head (we allow the head and the
+     *  next block to tolerate small non-unit strides). */
+    unsigned matchDepth = 2;
+    /** Streams are allocated only after two sequential misses (the
+     *  classic confirmation filter), tracked in a small table. */
+    unsigned missTableEntries = 16;
+    bool enabled = true;
+};
+
+/** Result of a prefetcher probe on an L2 miss. */
+struct PrefetchHit
+{
+    bool hit = false;
+    Cycle readyAt = 0; ///< when the block's data is available
+};
+
+/** Per-prefetcher counters. */
+struct PrefetcherStats
+{
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+    uint64_t allocations = 0;
+    uint64_t issued = 0; ///< prefetch requests sent to memory
+};
+
+/** Eight-stream sequential prefetcher. */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(const PrefetcherParams &params, MainMemory &memory)
+        : params_(params), memory_(memory),
+          streams_(params.numStreams),
+          recentMisses_(params.missTableEntries, ~Addr{0})
+    {}
+
+    /**
+     * Consult the streams for the L2 demand miss of @p addr at @p now.
+     * On a head hit the block is consumed and the stream extended; on a
+     * full miss a new stream is allocated.
+     */
+    PrefetchHit demandMiss(Addr addr, Cycle now);
+
+    const PrefetcherStats &stats() const { return stats_; }
+
+  private:
+    struct Block
+    {
+        Addr blockAddr = 0;
+        Cycle readyAt = 0;
+    };
+
+    struct Stream
+    {
+        std::deque<Block> blocks;
+        Addr nextAddr = 0;     ///< next block address to prefetch
+        uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    Addr blockAddr(Addr addr) const { return addr & ~Addr{params_.blockBytes - 1}; }
+
+    void refill(Stream &stream, Cycle now);
+
+    PrefetcherParams params_;
+    MainMemory &memory_;
+    std::vector<Stream> streams_;
+    std::vector<Addr> recentMisses_; ///< confirmation filter ring
+    size_t recentPos_ = 0;
+    uint64_t stamp_ = 0;
+    PrefetcherStats stats_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_MEM_PREFETCHER_HH

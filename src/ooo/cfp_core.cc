@@ -1,0 +1,390 @@
+#include "ooo/cfp_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+CfpCore::CfpCore(const CoreParams &core_params, const MemParams &mem_params,
+                 const CfpParams &cfp_params)
+    : OooCore(core_params, mem_params, cfp_params.ooo), cfp_(cfp_params)
+{
+    name_ = "cfp";
+    ICFP_ASSERT(cfp_.rallyWidth >= 1);
+    ICFP_ASSERT(cfp_.rallyScanWidth >= cfp_.rallyWidth);
+}
+
+bool
+CfpCore::sourceDeferred(size_t prod, Cycle now) const
+{
+    if (prod == kNoProducer)
+        return false;
+    if (sliced_[prod] && doneAt_[prod] == kCycleNever)
+        return true; // waiting in the slice buffer
+    return missDeferred_[prod] && doneAt_[prod] > now;
+}
+
+bool
+CfpCore::anySourceDeferred(const Entry &entry, Cycle now) const
+{
+    return sourceDeferred(entry.prod1, now) ||
+           sourceDeferred(entry.prod2, now);
+}
+
+void
+CfpCore::sliceOut(Entry *entry, bool from_iq)
+{
+    if (from_iq && entry->inIq) {
+        entry->inIq = false;
+        ICFP_ASSERT(iqUsed_ > 0);
+        --iqUsed_;
+    }
+    if (entry->isLoad && from_iq) {
+        ICFP_ASSERT(lqUsed_ > 0);
+        --lqUsed_;
+    }
+    if (entry->isStore && from_iq) {
+        ICFP_ASSERT(sqUsed_ > 0);
+        --sqUsed_;
+    }
+    entry->sliced = true;
+    sliced_[entry->idx] = true;
+    ++slicedInsts_;
+
+    // Keep the slice buffer in program order so a deferred instruction's
+    // producers are always closer to the head than it is (rally scans
+    // from the head, so this also guarantees forward progress).
+    Entry copy = *entry;
+    copy.inIq = false;
+    auto pos = std::lower_bound(
+        slice_.begin(), slice_.end(), copy.idx,
+        [](const Entry &e, size_t idx) { return e.idx < idx; });
+    slice_.insert(pos, copy);
+}
+
+void
+CfpCore::drainDependents(size_t from)
+{
+    for (Entry &entry : rob_) {
+        if (entry.idx <= from || entry.issued || entry.sliced)
+            continue;
+        if (slice_.size() >= cfp_.sliceEntries) {
+            // Slice buffer exhausted: the dependent simply stays in the
+            // issue queue and blocks there (graceful degradation).
+            ++sliceFullStalls_;
+            return;
+        }
+        if (anySourceDeferred(entry, cycle_))
+            sliceOut(&entry, /*from_iq=*/true);
+    }
+}
+
+void
+CfpCore::rallyExecute(const Trace &trace, Entry *entry)
+{
+    // Copy everything needed up front: drainDependents (called on a
+    // dependent miss) inserts into slice_, which invalidates @p entry.
+    const size_t idx = entry->idx;
+    const size_t fwd_from = entry->forwardFrom;
+    const bool mispredicted = entry->mispredicted;
+    const BranchPrediction pred = entry->pred;
+    const DynInst &di = trace[idx];
+    entry->issued = true;
+    entry->issuedAt = cycle_;
+    entry = nullptr;
+    ++rallyInsts_;
+
+    Cycle done = cycle_ + 1;
+    bool dependent_miss = false;
+    switch (di.op) {
+      case Opcode::Ld:
+        if (fwd_from != kNoProducer) {
+            ICFP_ASSERT(trace[fwd_from].storeValue == di.result);
+            done = cycle_ + mem_.params().dcacheHitLatency;
+        } else if (RegVal fwd; postCommitSb_.forward(di.addr, &fwd)) {
+            ICFP_ASSERT(fwd == di.result);
+            done = cycle_ + mem_.params().dcacheHitLatency;
+        } else {
+            const MemAccessResult r = mem_.load(di.addr, cycle_);
+            done = r.doneAt;
+            dependent_miss = r.missedL2();
+        }
+        break;
+      case Opcode::St:
+        storeExecuted_[idx] = true;
+        done = cycle_ + 1;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        resolveBranch(di, pred, cycle_);
+        if (mispredicted) {
+            // Squash-to-checkpoint: the discarded post-branch work is
+            // charged as the full pipeline refill (see file comment).
+            fetchStalled_ = false;
+            fetchReadyAt_ = std::max(fetchReadyAt_,
+                                     cycle_ + params_.squashPenalty);
+            ++sliceSquashes_;
+        }
+        done = cycle_ + 1;
+        break;
+      case Opcode::Halt:
+      case Opcode::Nop:
+        break;
+      default:
+        done = cycle_ + fuLatency(di.op);
+        break;
+    }
+    doneAt_[idx] = done;
+    if (dependent_miss) {
+        // Dependent miss: re-defer. The entry's own result time is the
+        // new fill; its slice consumers wait on it via dataflow, giving
+        // multi-pass behaviour for free.
+        missDeferred_[idx] = true;
+        drainDependents(idx);
+    }
+}
+
+void
+CfpCore::drainStores(const Trace &trace, MemoryImage *memory)
+{
+    postCommitSb_.drain(cycle_, memory);
+    unsigned drained = 0;
+    while (!pendingStores_.empty() && drained < ooo_.commitWidth) {
+        const PendingStore &head = pendingStores_.front();
+        if (!storeExecuted_[head.idx] || doneAt_[head.idx] > cycle_)
+            break;
+        if (postCommitSb_.full())
+            break;
+        const DynInst &di = trace[head.idx];
+        const MemAccessResult r = mem_.store(di.addr, cycle_);
+        postCommitSb_.push(di.addr, di.storeValue, r.doneAt);
+        pendingStores_.pop_front();
+        ++drained;
+    }
+}
+
+RunResult
+CfpCore::run(const Trace &trace)
+{
+    resetRunState();
+    resetWindow(trace.size());
+    trace_ = &trace;
+
+    missDeferred_.assign(trace.size(), false);
+    sliced_.assign(trace.size(), false);
+    storeExecuted_.assign(trace.size(), false);
+    slice_.clear();
+    pendingStores_.clear();
+    slicedInsts_ = 0;
+    rallyInsts_ = 0;
+    sliceSquashes_ = 0;
+    sliceFullStalls_ = 0;
+
+    RunResult result;
+    result.instructions = trace.size();
+
+    postCommitSb_ = SimpleStoreBuffer(params_.storeBufferEntries);
+    MemoryImage memory = trace.program->initialMemory;
+
+    size_t fetchIdx = 0;
+    size_t commitIdx = 0;
+    const size_t n = trace.size();
+
+    // Generous hang guard: a correct model commits at least one
+    // instruction every few hundred cycles on any workload.
+    const Cycle cycle_limit = 1000 * (n + 1) + 10'000'000;
+
+    while (commitIdx < n || !slice_.empty() || !pendingStores_.empty()) {
+        ICFP_ASSERT(cycle_ < cycle_limit);
+
+        drainStores(trace, &memory);
+
+        // ------------------------------------------------------ commit
+        unsigned committed = 0;
+        while (!rob_.empty() && committed < ooo_.commitWidth) {
+            Entry &head = rob_.front();
+            // A deferred (L2-missing) load pseudo-commits just like a
+            // sliced instruction: the checkpoint covers recovery and its
+            // value merges when the miss returns.
+            const bool pseudo =
+                head.sliced ||
+                (head.issued && head.isLoad && missDeferred_[head.idx]);
+            if (!pseudo &&
+                (!head.issued || doneAt_[head.idx] > cycle_)) {
+                break;
+            }
+            if (!head.sliced) {
+                if (head.isStore) {
+                    ICFP_ASSERT(sqUsed_ > 0);
+                    --sqUsed_;
+                }
+                if (head.isLoad) {
+                    ICFP_ASSERT(lqUsed_ > 0);
+                    --lqUsed_;
+                }
+            }
+            rob_.pop_front();
+            ++commitIdx;
+            ++committed;
+        }
+
+        // ------------------------------------------------------- rally
+        {
+            unsigned executed = 0;
+            unsigned scanned = 0;
+            // Index-based: rallyExecute can drain new dependents into
+            // slice_ (always at positions beyond the current one, since
+            // the buffer is sorted and dependents are younger).
+            for (size_t i = 0; i < slice_.size(); ++i) {
+                if (executed >= cfp_.rallyWidth ||
+                    scanned >= cfp_.rallyScanWidth) {
+                    break;
+                }
+                ++scanned;
+                if (slice_[i].issued)
+                    continue;
+                if (!sourcesReady(slice_[i], cycle_))
+                    continue;
+                rallyExecute(trace, &slice_[i]);
+                ++executed;
+            }
+            while (!slice_.empty() && slice_.front().issued)
+                slice_.pop_front();
+        }
+
+        // ------------------------------------------------------- issue
+        slots_.reset();
+        for (Entry &entry : rob_) {
+            if (slots_.used() >= params_.issueWidth)
+                break;
+            if (entry.issued || entry.sliced)
+                continue;
+            if (!sourcesReady(entry, cycle_))
+                continue;
+            const FuClass fu = fuClass(trace[entry.idx].op);
+            if (!slots_.available(fu))
+                continue;
+            slots_.take(fu);
+
+            const DynInst &di = trace[entry.idx];
+            if (di.isLoad() && entry.forwardFrom == kNoProducer) {
+                RegVal fwd;
+                if (!postCommitSb_.forward(di.addr, &fwd)) {
+                    // Execute here so we can see the miss and drain the
+                    // forward slice in the same cycle.
+                    entry.issued = true;
+                    entry.issuedAt = cycle_;
+                    if (entry.inIq) {
+                        entry.inIq = false;
+                        --iqUsed_;
+                    }
+                    const MemAccessResult r = mem_.load(di.addr, cycle_);
+                    doneAt_[entry.idx] = r.doneAt;
+                    if (r.missedL2()) {
+                        missDeferred_[entry.idx] = true;
+                        drainDependents(entry.idx);
+                    }
+                    continue;
+                }
+            }
+            executeEntry(trace, &entry);
+            if (entry.isStore)
+                storeExecuted_[entry.idx] = true;
+        }
+
+        // ---------------------------------------------------- dispatch
+        unsigned dispatched = 0;
+        while (fetchIdx < n && dispatched < ooo_.dispatchWidth &&
+               !fetchStalled_ && cycle_ >= fetchReadyAt_ &&
+               rob_.size() < ooo_.robEntries) {
+            const DynInst &di = trace[fetchIdx];
+            const bool is_load = di.isLoad();
+            const bool is_store = di.isStore();
+
+            Entry entry;
+            entry.idx = fetchIdx;
+            entry.dispatchedAt = cycle_;
+            entry.isLoad = is_load;
+            entry.isStore = is_store;
+            captureProducers(di, &entry);
+
+            if (is_load) {
+                // Oracle forwarding across the program-order drain queue
+                // (covers both live and deferred stores).
+                for (auto it = pendingStores_.rbegin();
+                     it != pendingStores_.rend(); ++it) {
+                    if (it->idx >= fetchIdx)
+                        continue;
+                    if (trace[it->idx].addr == di.addr) {
+                        entry.forwardFrom = it->idx;
+                        if (entry.prod2 == kNoProducer)
+                            entry.prod2 = it->idx;
+                        else if (entry.prod1 == kNoProducer)
+                            entry.prod1 = it->idx;
+                        else
+                            entry.prod2 = std::max(entry.prod2, it->idx);
+                        break;
+                    }
+                }
+            }
+            // Decide resources *before* any side effect (predictor
+            // state, last-writer table): a blocked dispatch retries next
+            // cycle and must behave as if this attempt never happened.
+            const bool defer = anySourceDeferred(entry, cycle_) &&
+                               slice_.size() < cfp_.sliceEntries;
+            if (!defer) {
+                if (iqUsed_ >= ooo_.iqEntries)
+                    break;
+                if (is_load && lqUsed_ >= ooo_.lqEntries)
+                    break;
+                if (is_store && sqUsed_ >= ooo_.sqEntries)
+                    break;
+                entry.inIq = true;
+                ++iqUsed_;
+                if (is_load)
+                    ++lqUsed_;
+                if (is_store)
+                    ++sqUsed_;
+            }
+            if (di.isControl()) {
+                entry.pred = bpred_.predict(di);
+                entry.mispredicted = entry.pred.predNextPc != di.nextPc;
+                if (entry.mispredicted)
+                    fetchStalled_ = true;
+            }
+            if (di.hasDst())
+                lastWriter_[di.dst] = fetchIdx;
+            if (is_store)
+                pendingStores_.push_back(PendingStore{fetchIdx});
+
+            rob_.push_back(entry);
+            if (defer)
+                sliceOut(&rob_.back(), /*from_iq=*/false);
+            peakRob_ = std::max<unsigned>(peakRob_, rob_.size());
+            ++fetchIdx;
+            ++dispatched;
+            if (entry.mispredicted)
+                break;
+        }
+
+        ++cycle_;
+    }
+
+    postCommitSb_.flush(&memory);
+    ICFP_ASSERT(memory == trace.finalMemory);
+
+    result.cycles = cycle_;
+    result.slicedInsts = slicedInsts_;
+    result.rallyInsts = rallyInsts_;
+    result.squashes = sliceSquashes_;
+    finishStats(&result);
+    trace_ = nullptr;
+    return result;
+}
+
+} // namespace icfp

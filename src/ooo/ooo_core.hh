@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A 2-way issue out-of-order core model (the Section 5.3 comparison
+ * point: "a 2-way issue out-of-order processor has a 68% performance
+ * advantage over our 2-way in-order pipeline").
+ *
+ * The model is a trace-replay dataflow-limited window machine: in-order
+ * fetch/dispatch into a reorder buffer, out-of-order issue from an issue
+ * queue when producers complete and a functional-unit slot is free,
+ * in-order commit. Loads access the shared timing hierarchy at issue;
+ * stores retire through a post-commit store buffer so the pipeline does
+ * not block on store misses. Memory dependences are handled with perfect
+ * (oracle) store-load forwarding through the store queue, the same
+ * idealization Table 1 grants SLTP's load queue; DESIGN.md documents
+ * this.
+ *
+ * Branch mispredictions block dispatch of the (correct-path) trace
+ * successors until the branch resolves at execute plus the front-end
+ * redirect penalty, so deeper windows do not magically hide control
+ * hazards.
+ */
+
+#ifndef ICFP_OOO_OOO_CORE_HH
+#define ICFP_OOO_OOO_CORE_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/core_base.hh"
+#include "ooo/ooo_params.hh"
+
+namespace icfp {
+
+/** Sentinel trace index meaning "no producer / value already ready". */
+constexpr size_t kNoProducer = ~size_t{0};
+
+/** The out-of-order comparison core. */
+class OooCore : public CoreBase
+{
+  public:
+    OooCore(const CoreParams &core_params, const MemParams &mem_params,
+            const OooParams &ooo_params = OooParams{});
+
+    RunResult run(const Trace &trace) override;
+
+    /** Peak reorder-buffer occupancy observed in the last run. */
+    unsigned peakRobOccupancy() const { return peakRob_; }
+
+  protected:
+    /** One in-flight instruction in the window. */
+    struct Entry
+    {
+        size_t idx = 0;            ///< trace index
+        size_t prod1 = kNoProducer;///< trace index of src1's writer
+        size_t prod2 = kNoProducer;///< trace index of src2's writer
+        Cycle dispatchedAt = 0;
+        Cycle issuedAt = kCycleNever;
+        bool issued = false;
+        bool inIq = false;         ///< holds an issue-queue slot
+        bool isLoad = false;
+        bool isStore = false;
+        /** Store-queue forwarding source (store trace idx), if any. */
+        size_t forwardFrom = kNoProducer;
+        /** Fetch-time prediction for control instructions. */
+        BranchPrediction pred{};
+        bool mispredicted = false; ///< stalls dispatch until resolve
+        /** Deferred to the slice data buffer (CfpCore only). */
+        bool sliced = false;
+    };
+
+    /** Completion time of @p trace_idx's result (kCycleNever if unknown). */
+    Cycle
+    producerDoneAt(size_t trace_idx) const
+    {
+        return trace_idx == kNoProducer ? 0 : doneAt_[trace_idx];
+    }
+
+    /** True once both producers have completed by @p now. */
+    bool
+    sourcesReady(const Entry &entry, Cycle now) const
+    {
+        return producerDoneAt(entry.prod1) <= now &&
+               producerDoneAt(entry.prod2) <= now;
+    }
+
+    /** Record @p di's fetch-time dataflow into @p entry. */
+    void captureProducers(const DynInst &di, Entry *entry) const;
+
+    /** Oracle store-queue search: youngest older store to @p addr. */
+    size_t findForwardingStore(size_t load_idx, Addr addr) const;
+
+    /** Issue one ready entry: FU access, memory access, branch resolve. */
+    void executeEntry(const Trace &trace, Entry *entry);
+
+    /** Per-run reset of the window state. */
+    void resetWindow(size_t trace_size);
+
+    OooParams ooo_;
+
+    /** doneAt_[i]: when trace instruction i's result is available. */
+    std::vector<Cycle> doneAt_;
+    /** lastWriter_[r]: trace index of the youngest dispatched writer. */
+    std::array<size_t, kNumRegs> lastWriter_{};
+    /** Store addresses of all dispatched, not-yet-committed stores. */
+    std::deque<size_t> storeQueue_;
+
+    std::deque<Entry> rob_;
+    /** Post-commit store buffer (drains lines; forwards to loads). */
+    SimpleStoreBuffer postCommitSb_;
+    unsigned iqUsed_ = 0;
+    unsigned lqUsed_ = 0;
+    unsigned sqUsed_ = 0;
+    unsigned peakRob_ = 0;
+    bool fetchStalled_ = false; ///< mispredicted branch in flight
+
+    const Trace *trace_ = nullptr;
+};
+
+} // namespace icfp
+
+#endif // ICFP_OOO_OOO_CORE_HH

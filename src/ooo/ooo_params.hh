@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Configuration for the out-of-order comparison cores (Section 5.3).
+ *
+ * The paper's Section 5.3 reports "additional experiments" that place
+ * iCFP in context: a 2-way issue out-of-order processor gains 68% over
+ * the 2-way in-order pipeline, and a 2-way (out-of-order) CFP pipeline
+ * gains 83%. These cores exist so the repository can regenerate that
+ * comparison; they share the Table 1 front end, functional units, branch
+ * predictor, and memory hierarchy with every other model.
+ */
+
+#ifndef ICFP_OOO_OOO_PARAMS_HH
+#define ICFP_OOO_OOO_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace icfp {
+
+/** Out-of-order machine configuration (2-way issue to match Table 1). */
+struct OooParams
+{
+    /**
+     * Reorder-buffer capacity. 128 entries is typical for a modest 2-way
+     * out-of-order machine of the paper's era (e.g. a quarter of a
+     * POWER4-class window).
+     */
+    unsigned robEntries = 128;
+    /** Issue-queue (scheduler) capacity. */
+    unsigned iqEntries = 32;
+    /** Load-queue capacity. */
+    unsigned lqEntries = 32;
+    /** Store-queue capacity (associatively searched for forwarding). */
+    unsigned sqEntries = 24;
+    /** In-order retirement bandwidth, instructions per cycle. */
+    unsigned commitWidth = 2;
+    /** Dispatch (rename) bandwidth into the window, per cycle. */
+    unsigned dispatchWidth = 2;
+};
+
+/** CFP extension configuration (Srinivasan et al., ASPLOS 2004). */
+struct CfpParams
+{
+    OooParams ooo{};
+    /** Slice data buffer capacity (deferred instructions + side inputs). */
+    unsigned sliceEntries = 512;
+    /** Re-dispatch bandwidth from the slice buffer when a miss returns. */
+    unsigned rallyWidth = 2;
+    /**
+     * How many slice-buffer entries the rally may scan past per cycle
+     * while looking for ready work (the banked-skip analog of Section
+     * 3.4; still-waiting entries are skipped, not compacted).
+     */
+    unsigned rallyScanWidth = 8;
+};
+
+} // namespace icfp
+
+#endif // ICFP_OOO_OOO_PARAMS_HH

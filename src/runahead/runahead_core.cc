@@ -1,0 +1,276 @@
+#include "runahead/runahead_core.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+namespace {
+constexpr Cycle kMaxRunCycles = Cycle{1} << 36;
+} // namespace
+
+RunaheadCore::RunaheadCore(const CoreParams &core_params,
+                           const MemParams &mem_params,
+                           const RunaheadParams &ra_params)
+    : CoreBase("runahead", core_params, mem_params),
+      ra_(ra_params),
+      rcache_(ra_params.runaheadCacheEntries)
+{
+}
+
+void
+RunaheadCore::enterRunahead(size_t miss_idx, Cycle return_at)
+{
+    ICFP_ASSERT(!inRunahead_);
+    inRunahead_ = true;
+    chkIdx_ = miss_idx;
+    triggerReturnAt_ = return_at;
+    wrongPath_ = false;
+    poison_.fill(false);
+    raReady_ = regReady_;
+    ++result_.advanceEntries;
+}
+
+void
+RunaheadCore::exitRunahead()
+{
+    ICFP_ASSERT(inRunahead_);
+    inRunahead_ = false;
+    wrongPath_ = false;
+    rcache_.clear();
+    bpred_.squashRas();
+    // Everything speculative is discarded; the pipeline restarts from the
+    // checkpoint (the triggering load, which now hits).
+    fetchReadyAt_ = std::max(fetchReadyAt_, cycle_ + params_.squashPenalty);
+    regReady_.fill(cycle_);
+    ++result_.squashes;
+}
+
+bool
+RunaheadCore::advanceOne(const DynInst &di)
+{
+    // raIdx lives in result_.advanceInsts bookkeeping; the caller passes
+    // the instruction and advances the index on success.
+    const bool p1 = di.src1 != kNoReg && poison_[di.src1];
+    const bool p2 = di.src2 != kNoReg && poison_[di.src2];
+    const bool poisoned = p1 || p2;
+
+    Cycle ready = 0;
+    if (di.src1 != kNoReg && di.src1 != 0 && !p1)
+        ready = std::max(ready, raReady_[di.src1]);
+    if (di.src2 != kNoReg && di.src2 != 0 && !p2)
+        ready = std::max(ready, raReady_[di.src2]);
+    if (ready > cycle_)
+        return false;
+
+    const FuClass fu = poisoned ? FuClass::None : fuClass(di.op);
+    if (!slots_.available(fu))
+        return false;
+
+    auto set_dst = [&](bool dst_poisoned, Cycle ready_at) {
+        if (di.dst == kNoReg || di.dst == 0)
+            return;
+        poison_[di.dst] = dst_poisoned;
+        raReady_[di.dst] = ready_at;
+    };
+
+    if (!poisoned) {
+        switch (di.op) {
+          case Opcode::Ld: {
+            const RunaheadCacheResult rc = rcache_.read(di.addr);
+            if (rc.hit) {
+                set_dst(rc.poisoned,
+                        cycle_ + mem_.params().dcacheHitLatency);
+                break;
+            }
+            const MemAccessResult r = mem_.load(di.addr, cycle_);
+            if (r.missedL2()) {
+                // Generate the prefetch, poison, keep going.
+                set_dst(true, cycle_);
+            } else if (r.missedDcache() &&
+                       ra_.secondaryPolicy == SecondaryMissPolicy::Poison) {
+                set_dst(true, cycle_); // "D$-nb"
+            } else {
+                set_dst(false, r.doneAt); // hit, or "D$-b": wait at use
+            }
+            break;
+          }
+          case Opcode::St:
+            rcache_.write(di.addr, di.storeValue, false);
+            break;
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Jmp:
+          case Opcode::Call:
+          case Opcode::Ret: {
+            const BranchPrediction pred = bpred_.predict(di);
+            if (di.op == Opcode::Call)
+                set_dst(false, cycle_ + 1);
+            resolveBranch(di, pred, cycle_);
+            break;
+          }
+          case Opcode::Nop:
+          case Opcode::Halt:
+            break;
+          default:
+            set_dst(false, cycle_ + fuLatency(di.op));
+            break;
+        }
+    } else {
+        // Poison propagation.
+        if (di.hasDst())
+            set_dst(true, cycle_);
+        if (di.isStore()) {
+            // Address known? (src1 feeds the address.)
+            if (!p1)
+                rcache_.write(di.addr, 0, true);
+            // Poisoned-address stores are simply skipped: forwarding is
+            // best-effort (this is exactly the robustness gap vs. the
+            // chained store buffer, Section 3.2).
+        }
+        if (di.isControl()) {
+            const BranchPrediction pred = bpred_.predict(di);
+            if (pred.predNextPc != di.nextPc) {
+                // Advance is on the wrong path until the episode ends.
+                wrongPath_ = true;
+                ++result_.wrongPathInsts;
+            }
+        }
+    }
+
+    slots_.take(fu);
+    ++result_.advanceInsts;
+    return true;
+}
+
+RunResult
+RunaheadCore::run(const Trace &trace)
+{
+    resetRunState();
+    result_ = RunResult{};
+    trace_ = &trace;
+    traceLen_ = trace.size();
+    result_.instructions = traceLen_;
+
+    SimpleStoreBuffer sb(params_.storeBufferEntries);
+    MemoryImage memory = trace.program->initialMemory;
+
+    size_t idx = 0;       // architectural (normal-mode) position
+    size_t ra_idx = 0;    // advance position during an episode
+    poison_.fill(false);
+    inRunahead_ = false;
+
+    while (idx < traceLen_) {
+        ICFP_ASSERT(cycle_ < kMaxRunCycles);
+        slots_.reset();
+        sb.drain(cycle_, &memory);
+
+        if (inRunahead_ && cycle_ >= triggerReturnAt_) {
+            exitRunahead();
+            // Resume normal execution at the checkpoint.
+        }
+
+        if (inRunahead_) {
+            if (!wrongPath_ && cycle_ >= fetchReadyAt_) {
+                while (ra_idx < traceLen_ &&
+                       slots_.used() < params_.issueWidth) {
+                    if (!advanceOne(trace[ra_idx]))
+                        break;
+                    ++ra_idx;
+                    if (wrongPath_ || cycle_ < fetchReadyAt_)
+                        break;
+                }
+            }
+            ++cycle_;
+            continue;
+        }
+
+        // ---- normal in-order execution -----------------------------------
+        while (idx < traceLen_ && slots_.used() < params_.issueWidth) {
+            const DynInst &di = trace[idx];
+            if (cycle_ < fetchReadyAt_)
+                break;
+            if (srcReadyCycle(di) > cycle_)
+                break;
+            const FuClass fu = fuClass(di.op);
+            if (!slots_.available(fu))
+                break;
+
+            bool entered_ra = false;
+            switch (di.op) {
+              case Opcode::Ld: {
+                RegVal fwd;
+                if (sb.forward(di.addr, &fwd)) {
+                    ICFP_ASSERT(fwd == di.result);
+                    setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
+                    break;
+                }
+                const MemAccessResult r = mem_.load(di.addr, cycle_);
+                const bool trig =
+                    (ra_.trigger == AdvanceTrigger::AnyDcache &&
+                     r.missedDcache()) ||
+                    (ra_.trigger == AdvanceTrigger::L2Only && r.missedL2());
+                if (trig) {
+                    enterRunahead(idx, r.doneAt);
+                    ra_idx = idx + 1;
+                    if (di.dst != kNoReg && di.dst != 0) {
+                        poison_[di.dst] = true;
+                        raReady_[di.dst] = cycle_;
+                    }
+                    entered_ra = true;
+                } else {
+                    ICFP_ASSERT(memory.read(di.addr) == di.result);
+                    setDstReady(di, r.doneAt);
+                }
+                break;
+              }
+              case Opcode::St: {
+                if (sb.full()) {
+                    const Cycle free_at =
+                        std::max(sb.headFreeAt(), cycle_ + 1);
+                    fetchReadyAt_ = std::max(fetchReadyAt_, free_at);
+                    goto cycle_done;
+                }
+                const MemAccessResult r = mem_.store(di.addr, cycle_);
+                sb.push(di.addr, di.storeValue, r.doneAt);
+                break;
+              }
+              case Opcode::Beq:
+              case Opcode::Bne:
+              case Opcode::Blt:
+              case Opcode::Jmp:
+              case Opcode::Call:
+              case Opcode::Ret: {
+                const BranchPrediction pred = bpred_.predict(di);
+                if (di.op == Opcode::Call)
+                    setDstReady(di, cycle_ + 1);
+                resolveBranch(di, pred, cycle_);
+                break;
+              }
+              case Opcode::Nop:
+              case Opcode::Halt:
+                break;
+              default:
+                setDstReady(di, cycle_ + fuLatency(di.op));
+                break;
+            }
+
+            slots_.take(fu);
+            if (entered_ra)
+                break; // the pipeline is in advance mode now
+            ++idx;
+        }
+
+      cycle_done:
+        ++cycle_;
+    }
+
+    sb.flush(&memory);
+    ICFP_ASSERT(memory == trace.finalMemory);
+
+    result_.cycles = cycle_;
+    finishStats(&result_);
+    return result_;
+}
+
+} // namespace icfp

@@ -1,0 +1,102 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace icfp {
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setColumns(const std::vector<std::string> &names)
+{
+    columns_ = names;
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &cells,
+              int decimals)
+{
+    Row row;
+    row.label = label;
+    for (const double v : cells) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(decimals) << v;
+        row.cells.push_back(os.str());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addNote(const std::string &note)
+{
+    Row row;
+    row.label = note;
+    row.isNote = true;
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::str() const
+{
+    // Column widths.
+    std::vector<size_t> widths(columns_.size(), 0);
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const Row &row : rows_) {
+        if (row.isNote)
+            continue;
+        if (!columns_.empty())
+            widths[0] = std::max(widths[0], row.label.size());
+        for (size_t c = 0; c < row.cells.size() && c + 1 < columns_.size();
+             ++c)
+            widths[c + 1] = std::max(widths[c + 1], row.cells[c].size());
+    }
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    if (!columns_.empty()) {
+        for (size_t c = 0; c < columns_.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << columns_[c];
+        }
+        os << "\n";
+        size_t total = 0;
+        for (size_t c = 0; c < columns_.size(); ++c)
+            total += widths[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const Row &row : rows_) {
+        if (row.isNote) {
+            os << row.label << "\n";
+            continue;
+        }
+        os << std::left << std::setw(static_cast<int>(widths[0]))
+           << row.label;
+        for (size_t c = 0; c < row.cells.size(); ++c) {
+            os << "  " << std::right
+               << std::setw(static_cast<int>(
+                      c + 1 < widths.size() ? widths[c + 1] : 8))
+               << row.cells[c];
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace icfp

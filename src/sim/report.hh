@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses: fixed-width
+ * columns in the style of the paper's tables/figure data.
+ */
+
+#ifndef ICFP_SIM_REPORT_HH
+#define ICFP_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace icfp {
+
+/** A simple left-labeled, right-aligned-numeric table printer. */
+class Table
+{
+  public:
+    /** @param title printed above the table */
+    explicit Table(std::string title);
+
+    /** Define columns; the first is the row label. */
+    void setColumns(const std::vector<std::string> &names);
+
+    /** Add one row: a label plus numeric cells formatted to @p decimals. */
+    void addRow(const std::string &label, const std::vector<double> &cells,
+                int decimals = 1);
+
+    /** Add a plain text row (e.g. a separator or a note). */
+    void addNote(const std::string &note);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    struct Row
+    {
+        std::string label;
+        std::vector<std::string> cells;
+        bool isNote = false;
+    };
+    std::vector<Row> rows_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_SIM_REPORT_HH

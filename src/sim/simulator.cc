@@ -1,0 +1,88 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/inorder_core.hh"
+
+namespace icfp {
+
+const char *
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::InOrder: return "in-order";
+      case CoreKind::Runahead: return "runahead";
+      case CoreKind::Multipass: return "multipass";
+      case CoreKind::Sltp: return "sltp";
+      case CoreKind::ICfp: return "icfp";
+      case CoreKind::Ooo: return "ooo";
+      case CoreKind::Cfp: return "cfp";
+    }
+    return "?";
+}
+
+Trace
+makeBenchTrace(const BenchmarkSpec &spec, uint64_t insts)
+{
+    const Program program = buildWorkload(spec.workload);
+    return Interpreter::run(program, insts);
+}
+
+RunResult
+simulate(CoreKind kind, const SimConfig &config, const Trace &trace)
+{
+    switch (kind) {
+      case CoreKind::InOrder: {
+        InOrderCore core(config.core, config.mem);
+        return core.run(trace);
+      }
+      case CoreKind::Runahead: {
+        RunaheadCore core(config.core, config.mem, config.runahead);
+        return core.run(trace);
+      }
+      case CoreKind::Multipass: {
+        MultipassCore core(config.core, config.mem, config.multipass);
+        return core.run(trace);
+      }
+      case CoreKind::Sltp: {
+        SltpCore core(config.core, config.mem, config.sltp);
+        return core.run(trace);
+      }
+      case CoreKind::ICfp: {
+        ICfpCore core(config.core, config.mem, config.icfp);
+        return core.run(trace);
+      }
+      case CoreKind::Ooo: {
+        OooCore core(config.core, config.mem, config.ooo);
+        return core.run(trace);
+      }
+      case CoreKind::Cfp: {
+        CfpCore core(config.core, config.mem, config.cfp);
+        return core.run(trace);
+      }
+    }
+    ICFP_PANIC("bad core kind");
+}
+
+double
+percentSpeedup(const RunResult &baseline, const RunResult &test)
+{
+    ICFP_ASSERT(test.cycles > 0);
+    return 100.0 * (static_cast<double>(baseline.cycles) /
+                        static_cast<double>(test.cycles) -
+                    1.0);
+}
+
+uint64_t
+benchInstBudget()
+{
+    if (const char *env = std::getenv("ICFP_BENCH_INSTS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<uint64_t>(v);
+    }
+    return kDefaultBenchInsts;
+}
+
+} // namespace icfp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level simulation driver: builds workloads, runs any of the five
+ * core models over the same golden trace, and bundles the scheme-specific
+ * configurations the experiments sweep.
+ *
+ * This is the primary entry point of the library for examples and
+ * benchmark harnesses:
+ *
+ * @code
+ *   SimConfig cfg;                                  // Table 1 defaults
+ *   Trace trace = makeBenchTrace(findBenchmark("mcf"), 200000);
+ *   RunResult base = simulate(CoreKind::InOrder, cfg, trace);
+ *   RunResult icfp = simulate(CoreKind::ICfp, cfg, trace);
+ *   double speedup = percentSpeedup(base, icfp);
+ * @endcode
+ */
+
+#ifndef ICFP_SIM_SIMULATOR_HH
+#define ICFP_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "core/params.hh"
+#include "icfp/icfp_core.hh"
+#include "multipass/multipass_core.hh"
+#include "ooo/cfp_core.hh"
+#include "ooo/ooo_core.hh"
+#include "runahead/runahead_core.hh"
+#include "sltp/sltp_core.hh"
+#include "workloads/spec_analogs.hh"
+
+namespace icfp {
+
+/**
+ * The core models the paper compares: the five of Figure 5 plus the two
+ * out-of-order reference points of Section 5.3.
+ */
+enum class CoreKind : uint8_t {
+    InOrder,
+    Runahead,
+    Multipass,
+    Sltp,
+    ICfp,
+    Ooo,
+    Cfp,
+};
+
+/** Display name of a core kind. */
+const char *coreKindName(CoreKind kind);
+
+/** One fully specified machine configuration. */
+struct SimConfig
+{
+    CoreParams core{};
+    MemParams mem{};
+    RunaheadParams runahead{};
+    MultipassParams multipass{};
+    SltpParams sltp{};
+    ICfpParams icfp{};
+    OooParams ooo{};
+    CfpParams cfp{};
+};
+
+/** Build and functionally execute a benchmark analog. */
+Trace makeBenchTrace(const BenchmarkSpec &spec,
+                     uint64_t insts = kDefaultBenchInsts);
+
+/** Run one core model over @p trace. */
+RunResult simulate(CoreKind kind, const SimConfig &config,
+                   const Trace &trace);
+
+/** Percent speedup of @p test over @p baseline (positive = faster). */
+double percentSpeedup(const RunResult &baseline, const RunResult &test);
+
+/**
+ * Dynamic instruction budget for benchmark harness runs: reads the
+ * ICFP_BENCH_INSTS environment variable, defaulting to
+ * kDefaultBenchInsts.
+ */
+uint64_t benchInstBudget();
+
+} // namespace icfp
+
+#endif // ICFP_SIM_SIMULATOR_HH

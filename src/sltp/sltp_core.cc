@@ -1,0 +1,522 @@
+#include "sltp/sltp_core.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+namespace {
+constexpr Cycle kMaxRunCycles = Cycle{1} << 36;
+} // namespace
+
+SltpCore::SltpCore(const CoreParams &core_params, const MemParams &mem_params,
+                   const SltpParams &sltp_params)
+    : CoreBase("sltp", core_params, mem_params),
+      sltp_(sltp_params),
+      slice_(sltp_params.sliceEntries)
+{
+}
+
+void
+SltpCore::enterEpoch(size_t miss_idx)
+{
+    ICFP_ASSERT(!inEpoch_);
+    rf0_.checkpoint();
+    chkIdx_ = miss_idx;
+    inEpoch_ = true;
+    inRally_ = false;
+    wrongPath_ = false;
+    ++result_.advanceEntries;
+}
+
+void
+SltpCore::beginRally()
+{
+    ICFP_ASSERT(inEpoch_ && !inRally_);
+    inRally_ = true;
+    rallyBlockedUntil_ = 0;
+    ++result_.rallyPasses;
+    // Speculatively written cache lines are discarded before the SRL
+    // drains (Section 4) — their re-fetch cost is SLTP's signature
+    // overhead (e.g. galgel).
+    mem_.dcache().flushPinned();
+}
+
+void
+SltpCore::endEpoch()
+{
+    ICFP_ASSERT(inEpoch_);
+    ICFP_ASSERT(slice_.noneActive());
+    ICFP_ASSERT(!rf0_.anyPoisoned());
+    inEpoch_ = false;
+    inRally_ = false;
+    wrongPath_ = false;
+    pending_.clear();
+    sliceValues_.clear();
+}
+
+void
+SltpCore::squash()
+{
+    ICFP_ASSERT(inEpoch_);
+    rf0_.restore();
+    slice_.clear();
+    sliceValues_.clear();
+    pending_.clear();
+    while (!srl_.empty() && srl_.back().seq >= chkIdx_)
+        srl_.pop_back();
+    mem_.dcache().flushPinned();
+    bpred_.squashRas();
+
+    inEpoch_ = false;
+    inRally_ = false;
+    wrongPath_ = false;
+    tailIdx_ = chkIdx_;
+    fetchReadyAt_ = cycle_ + params_.squashPenalty;
+    regReady_.fill(cycle_);
+    ++result_.squashes;
+}
+
+const SltpCore::SrlEntry *
+SltpCore::srlSearch(Addr addr, SeqNum load_seq) const
+{
+    // Idealized (oracle) memory dependence prediction, per Table 1: the
+    // youngest older SRL store to the same address is always identified.
+    for (auto it = srl_.rbegin(); it != srl_.rend(); ++it) {
+        if (it->seq >= load_seq)
+            continue;
+        if (it->addr == addr)
+            return &*it;
+    }
+    return nullptr;
+}
+
+bool
+SltpCore::tailLoad(const DynInst &di)
+{
+    const SeqNum seq = tailIdx_;
+    if (const SrlEntry *st = srlSearch(di.addr, seq)) {
+        if (!st->poisoned) {
+            ICFP_ASSERT(st->value == di.result);
+            rf0_.write(di.dst, st->value, seq);
+            setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
+            return true;
+        }
+        // Poison propagates from the miss-dependent store (idealized
+        // dependence prediction).
+        ICFP_ASSERT(inEpoch_);
+        if (slice_.full())
+            return false; // SLTP stalls; no fallback mode
+        SliceEntry entry;
+        entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+        entry.seq = seq;
+        entry.poison = 1;
+        entry.src1Captured = true;
+        entry.src1Val = di.src1 == kNoReg ? 0 : rf0_.read(di.src1);
+        entry.src2Captured = true;
+        slice_.push(entry);
+        rf0_.writePoisoned(di.dst, 1, seq);
+        ++result_.slicedInsts;
+        return true;
+    }
+
+    const MemAccessResult r = mem_.load(di.addr, cycle_);
+    const bool d_miss = r.missedDcache();
+    const bool l2_miss = r.missedL2();
+
+    bool poison_it = false;
+    if (inEpoch_) {
+        poison_it = l2_miss; // secondary D$ misses block (stall-at-use)
+    } else {
+        const bool trigger =
+            (sltp_.trigger == AdvanceTrigger::AnyDcache && d_miss) ||
+            (sltp_.trigger == AdvanceTrigger::L2Only && l2_miss);
+        if (trigger) {
+            enterEpoch(tailIdx_);
+            poison_it = true;
+        }
+    }
+
+    if (poison_it) {
+        if (slice_.full())
+            return false;
+        SliceEntry entry;
+        entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+        entry.seq = seq;
+        entry.poison = 1;
+        entry.src1Captured = true;
+        entry.src1Val = di.src1 == kNoReg ? 0 : rf0_.read(di.src1);
+        entry.src2Captured = true;
+        slice_.push(entry);
+        rf0_.writePoisoned(di.dst, 1, seq);
+        pending_.push(r.doneAt, 1);
+        ++result_.slicedInsts;
+        return true;
+    }
+
+    const RegVal value = memImage_.read(di.addr);
+#ifdef ICFP_DEBUG_SLTP
+    if (value != di.result) {
+        std::fprintf(stderr,
+            "SLTP MISMATCH tail=%zu pc=%u addr=%lx got=%lx want=%lx "
+            "inEpoch=%d inRally=%d chk=%zu srl=%zu op=%d src1=%d\n",
+            tailIdx_, di.pc, di.addr, value, di.result, int(inEpoch_),
+            int(inRally_), chkIdx_, srl_.size(), int(di.op), int(di.src1));
+        for (const auto &e : srl_)
+            std::fprintf(stderr, "  srl seq=%lu addr=%lx val=%lx p=%d\n",
+                         e.seq, e.addr, e.value, int(e.poisoned));
+    }
+#endif
+    ICFP_ASSERT(value == di.result);
+    rf0_.write(di.dst, value, seq);
+    setDstReady(di, r.doneAt);
+    return true;
+}
+
+bool
+SltpCore::divertToSlice(const DynInst &di, PoisonMask poison)
+{
+    ICFP_ASSERT(inEpoch_);
+    const SeqNum seq = tailIdx_;
+
+    if (slice_.full() || (di.isStore() && srl_.size() >= sltp_.srlEntries))
+        return false; // SLTP stalls when it runs out of buffering
+
+    SliceEntry entry;
+    entry.traceIdx = static_cast<uint32_t>(tailIdx_);
+    entry.seq = seq;
+    entry.poison = poison;
+    entry.src1Captured = di.src1 == kNoReg || rf0_.poison(di.src1) == 0;
+    if (entry.src1Captured && di.src1 != kNoReg)
+        entry.src1Val = rf0_.read(di.src1);
+    else if (!entry.src1Captured)
+        entry.src1Producer = rf0_.lastWriter(di.src1);
+    entry.src2Captured = di.src2 == kNoReg || rf0_.poison(di.src2) == 0;
+    if (entry.src2Captured && di.src2 != kNoReg)
+        entry.src2Val = rf0_.read(di.src2);
+    else if (!entry.src2Captured)
+        entry.src2Producer = rf0_.lastWriter(di.src2);
+
+    if (di.isStore()) {
+        // Miss-dependent store: SRL entry with poisoned data. (A poisoned
+        // address is handled identically thanks to the oracle dependence
+        // predictor; the model knows the address from the trace.)
+        SrlEntry srl_entry;
+        srl_entry.addr = di.addr;
+        srl_entry.seq = seq;
+        srl_entry.poisoned = true;
+        srl_.push_back(srl_entry);
+    }
+
+    if (di.isControl()) {
+        entry.pred = bpred_.predict(di);
+        if (entry.pred.predNextPc != di.nextPc) {
+            wrongPath_ = true;
+            ++result_.wrongPathInsts;
+        }
+    }
+
+    if (di.hasDst())
+        rf0_.writePoisoned(di.dst, poison, seq);
+
+    slice_.push(entry);
+    ++result_.slicedInsts;
+    return true;
+}
+
+bool
+SltpCore::tailIssueOne(const DynInst &di)
+{
+    const PoisonMask poison = inEpoch_ ? [&] {
+        PoisonMask p = 0;
+        if (di.src1 != kNoReg)
+            p |= rf0_.poison(di.src1);
+        if (di.src2 != kNoReg)
+            p |= rf0_.poison(di.src2);
+        return p;
+    }() : PoisonMask{0};
+
+    if (poison != 0) {
+        Cycle ready = 0;
+        if (di.src1 != kNoReg && di.src1 != 0 && rf0_.poison(di.src1) == 0)
+            ready = std::max(ready, regReady_[di.src1]);
+        if (di.src2 != kNoReg && di.src2 != 0 && rf0_.poison(di.src2) == 0)
+            ready = std::max(ready, regReady_[di.src2]);
+        if (ready > cycle_)
+            return false;
+        if (!slots_.available(FuClass::None))
+            return false;
+        if (!divertToSlice(di, poison))
+            return false;
+        slots_.take(FuClass::None);
+        ++tailIdx_;
+        ++result_.advanceInsts;
+        return true;
+    }
+
+    if (srcReadyCycle(di) > cycle_)
+        return false;
+    const FuClass fu = fuClass(di.op);
+    if (!slots_.available(fu))
+        return false;
+
+    switch (di.op) {
+      case Opcode::Ld:
+        if (!tailLoad(di))
+            return false;
+        break;
+      case Opcode::St: {
+        if (srl_.size() >= sltp_.srlEntries)
+            return false;
+        SrlEntry entry;
+        entry.addr = di.addr;
+        entry.value = di.storeValue;
+        entry.seq = tailIdx_;
+        entry.poisoned = false;
+        if (inEpoch_) {
+            // Speculative write into the D$ so miss-independent loads can
+            // forward through the cache; the line is pinned.
+            mem_.store(di.addr, cycle_);
+            mem_.dcache().setPinned(di.addr, true);
+            entry.specWritten = true;
+        }
+        srl_.push_back(entry);
+        break;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret: {
+        const BranchPrediction pred = bpred_.predict(di);
+        if (di.op == Opcode::Call) {
+            rf0_.write(di.dst, di.result, tailIdx_);
+            setDstReady(di, cycle_ + 1);
+        }
+        resolveBranch(di, pred, cycle_);
+        break;
+      }
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      default:
+        rf0_.write(di.dst, di.result, tailIdx_);
+        setDstReady(di, cycle_ + fuLatency(di.op));
+        break;
+    }
+
+    slots_.take(fu);
+    ++tailIdx_;
+    if (inEpoch_)
+        ++result_.advanceInsts;
+    return true;
+}
+
+void
+SltpCore::rallyTick()
+{
+    if (cycle_ < rallyBlockedUntil_)
+        return;
+
+    // Program-order interleave of SRL drain and slice re-execution: the
+    // SRL head drains when everything older has re-executed; a slice
+    // entry executes when every older SRL store has drained.
+    const SeqNum oldest_slice = slice_.oldestActiveSeq();
+
+    // 1) Drain the SRL head if possible (one store per cycle).
+    if (!srl_.empty()) {
+        const SrlEntry &head = srl_.front();
+        if (!head.poisoned && head.seq < oldest_slice) {
+            mem_.store(head.addr, cycle_);
+            memImage_.write(head.addr, head.value);
+            srl_.pop_front();
+        }
+    }
+
+    // 2) Execute the oldest active slice entry if it precedes the SRL
+    //    head (equal seq = the store's own SRL entry: execute first).
+    if (slice_.noneActive()) {
+        if (srl_.empty())
+            endEpoch();
+        return;
+    }
+    size_t pos = slice_.headIndex();
+    while (pos < slice_.endIndex() && !slice_.at(pos).active)
+        ++pos;
+    ICFP_ASSERT(pos < slice_.endIndex());
+    SliceEntry &entry = slice_.at(pos);
+    if (!srl_.empty() && srl_.front().seq < entry.seq)
+        return; // an older store must drain first
+
+    const DynInst &di = trace_->insts[entry.traceIdx];
+    const Instruction &si = trace_->program->code[di.pc];
+
+    // Operand delivery (captured values or older slice producers).
+    if (!entry.src1Captured) {
+        const auto it = sliceValues_.find(entry.src1Producer);
+        ICFP_ASSERT(it != sliceValues_.end()); // in-order blocking rally
+        if (it->second.readyAt > cycle_)
+            return;
+        entry.src1Val = it->second.value;
+        entry.src1Captured = true;
+    }
+    if (!entry.src2Captured) {
+        const auto it = sliceValues_.find(entry.src2Producer);
+        ICFP_ASSERT(it != sliceValues_.end());
+        if (it->second.readyAt > cycle_)
+            return;
+        entry.src2Val = it->second.value;
+        entry.src2Captured = true;
+    }
+
+    const RegVal a = entry.src1Val;
+    const RegVal b = entry.src2Val;
+
+    auto publish = [&](RegVal value, Cycle ready_at) {
+        if (di.hasDst()) {
+            sliceValues_[entry.seq] = ResolvedValue{value, ready_at};
+            if (rf0_.writeGated(di.dst, value, entry.seq))
+                regReady_[di.dst] = ready_at;
+        }
+        slice_.resolve(pos);
+        ++result_.rallyInsts;
+    };
+
+    switch (di.op) {
+      case Opcode::Ld: {
+        const Addr addr = memImage_.wrap(a + static_cast<RegVal>(si.imm));
+        ICFP_ASSERT(addr == di.addr);
+        if (const SrlEntry *st = srlSearch(addr, entry.seq)) {
+            ICFP_ASSERT(!st->poisoned); // older slices resolved in order
+            ICFP_ASSERT(st->value == di.result);
+            publish(st->value, cycle_ + mem_.params().dcacheHitLatency);
+            return;
+        }
+        const MemAccessResult r = mem_.load(addr, cycle_);
+        if (r.missedDcache()) {
+            // Blocking rally: stall right here until the fill.
+            rallyBlockedUntil_ = r.doneAt;
+            return;
+        }
+        const RegVal value = memImage_.read(addr);
+        ICFP_ASSERT(value == di.result);
+        publish(value, r.doneAt);
+        return;
+      }
+      case Opcode::St: {
+        // Fill in the SRL entry's value (it is the first poisoned entry
+        // at or after the head with this seq).
+        ICFP_ASSERT(b == di.storeValue);
+        for (SrlEntry &srl_entry : srl_) {
+            if (srl_entry.seq == entry.seq) {
+                srl_entry.value = b;
+                srl_entry.poisoned = false;
+                break;
+            }
+        }
+        slice_.resolve(pos);
+        ++result_.rallyInsts;
+        return;
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Ret: {
+        const bool correct = entry.pred.predNextPc == di.nextPc;
+        bpred_.resolve(di, entry.pred);
+        ++result_.rallyInsts;
+        slice_.resolve(pos);
+        if (!correct) {
+            // The blocking rally resolves strictly in order, so when a
+            // poisoned branch turns out mispredicted everything older is
+            // already complete and nothing younger was fetched (the tail
+            // halted at the unverified branch). Recovery is a front-end
+            // redirect backed by SLTP's second checkpoint — no state
+            // rollback is needed; the drained SRL prefix stays valid.
+            wrongPath_ = false;
+            fetchReadyAt_ =
+                std::max(fetchReadyAt_, cycle_ + params_.squashPenalty);
+            bpred_.squashRas();
+            ++result_.squashes;
+        }
+        return;
+      }
+      default: {
+        const RegVal value = Interpreter::evaluate(di.op, a, b, si.imm);
+        ICFP_ASSERT(value == di.result);
+        publish(value, cycle_ + fuLatency(di.op));
+        return;
+      }
+    }
+}
+
+RunResult
+SltpCore::run(const Trace &trace)
+{
+    resetRunState();
+    result_ = RunResult{};
+    trace_ = &trace;
+    traceLen_ = trace.size();
+    result_.instructions = traceLen_;
+
+    memImage_ = trace.program->initialMemory;
+    rf0_.clearAll();
+    slice_.clear();
+    srl_.clear();
+    sliceValues_.clear();
+    pending_.clear();
+    tailIdx_ = 0;
+    inEpoch_ = false;
+    inRally_ = false;
+    wrongPath_ = false;
+    rallyBlockedUntil_ = 0;
+
+    while (tailIdx_ < traceLen_ || inEpoch_ || !srl_.empty()) {
+        ICFP_ASSERT(cycle_ < kMaxRunCycles);
+        slots_.reset();
+
+        if (inEpoch_ && !inRally_ && pending_.popReturned(cycle_) != 0)
+            beginRally();
+
+        if (inRally_) {
+            // Tail stalls; the rally owns the pipeline.
+            rallyTick();
+        } else {
+            // Outside a rally, the SRL head may drain one store per cycle
+            // as long as it is past the active checkpoint window.
+            if (!srl_.empty()) {
+                const SrlEntry &head = srl_.front();
+                const bool safe =
+                    !head.poisoned && (!inEpoch_ || head.seq < chkIdx_);
+                if (safe) {
+                    mem_.store(head.addr, cycle_);
+                    memImage_.write(head.addr, head.value);
+                    srl_.pop_front();
+                }
+            }
+            if (!wrongPath_ && cycle_ >= fetchReadyAt_) {
+                while (tailIdx_ < traceLen_ &&
+                       slots_.used() < params_.issueWidth) {
+                    if (!tailIssueOne(trace.insts[tailIdx_]))
+                        break;
+                    if (wrongPath_ || cycle_ < fetchReadyAt_)
+                        break;
+                }
+            }
+        }
+
+        ++cycle_;
+    }
+
+    ICFP_ASSERT(!rf0_.anyPoisoned());
+    const RegFileState final_regs = rf0_.values();
+    for (int r = 1; r < kNumRegs; ++r)
+        ICFP_ASSERT(final_regs[r] == trace.finalRegs[r]);
+    ICFP_ASSERT(memImage_ == trace.finalMemory);
+
+    result_.cycles = cycle_;
+    finishStats(&result_);
+    return result_;
+}
+
+} // namespace icfp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SLTP — the Simple Latency Tolerant Processor (Nekkalapu et al., ICCD
+ * 2008; Sections 2, 4 and 5.2 of the paper).
+ *
+ * SLTP, like iCFP, commits miss-independent advance instructions and
+ * defers miss-dependent slices. It differs in two load-bearing ways:
+ *
+ *  1. Memory system: advance stores append to an SRL (store redo log —
+ *     a plain FIFO); miss-independent stores additionally write the data
+ *     cache *speculatively* (those lines are pinned and cannot be
+ *     evicted). When a rally begins, speculatively written lines are
+ *     flushed, and the SRL is drained to the cache interleaved with slice
+ *     re-execution in program order — the drain both delays the rally and
+ *     re-misses the flushed lines.
+ *
+ *  2. Blocking, single-pass rallies: a slice load that misses stalls the
+ *     rally until it returns; the tail cannot resume until the rally
+ *     completes and the SRL is fully drained. This is what limits SLTP in
+ *     dependent-miss scenarios (Figure 1c/1d).
+ *
+ * Per Table 1 the memory dependence prediction that propagates poison
+ * from SRL stores to forwarding loads is idealized (oracle), as is the
+ * verification load queue.
+ */
+
+#ifndef ICFP_SLTP_SLTP_CORE_HH
+#define ICFP_SLTP_SLTP_CORE_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/core_base.hh"
+#include "core/register_file.hh"
+#include "icfp/poison.hh"
+#include "icfp/slice_buffer.hh"
+
+namespace icfp {
+
+/** SLTP configuration (Table 1). */
+struct SltpParams
+{
+    AdvanceTrigger trigger = AdvanceTrigger::L2Only; ///< Figure 5 setting
+    unsigned srlEntries = 128;
+    unsigned sliceEntries = 128;
+};
+
+/** The SLTP core model. */
+class SltpCore : public CoreBase
+{
+  public:
+    SltpCore(const CoreParams &core_params, const MemParams &mem_params,
+             const SltpParams &sltp_params = SltpParams{});
+
+    RunResult run(const Trace &trace) override;
+
+  private:
+    /** One SRL (store redo log) entry. */
+    struct SrlEntry
+    {
+        Addr addr = 0;
+        RegVal value = 0;
+        SeqNum seq = 0;
+        bool poisoned = false;   ///< data not yet produced
+        bool specWritten = false;///< also written (pinned) in the D$
+    };
+
+    struct ResolvedValue
+    {
+        RegVal value = 0;
+        Cycle readyAt = 0;
+    };
+
+    void enterEpoch(size_t miss_idx);
+    void beginRally();
+    void endEpoch();
+    void squash();
+
+    bool tailIssueOne(const DynInst &di);
+    bool tailLoad(const DynInst &di);
+    bool divertToSlice(const DynInst &di, PoisonMask poison);
+    void rallyTick();
+
+    /** Oracle SRL search: youngest older store matching @p addr. */
+    const SrlEntry *srlSearch(Addr addr, SeqNum load_seq) const;
+
+    SltpParams sltp_;
+
+    const Trace *trace_ = nullptr;
+    size_t traceLen_ = 0;
+
+    MemoryImage memImage_;
+    RegisterFile rf0_;
+    SliceBuffer slice_;
+    std::deque<SrlEntry> srl_;
+    std::unordered_map<SeqNum, ResolvedValue> sliceValues_;
+    std::unordered_map<SeqNum, size_t> srlIndexBySeq_; ///< store seq -> SRL pos
+
+    size_t tailIdx_ = 0;
+    bool inEpoch_ = false;
+    bool inRally_ = false;
+    size_t chkIdx_ = 0;
+    bool wrongPath_ = false;
+
+    PendingMissQueue pending_;
+    Cycle rallyBlockedUntil_ = 0;
+    size_t rallySlicePos_ = 0; ///< absolute slice index during the rally
+    size_t rallySrlPos_ = 0;   ///< SRL drain position during the rally
+
+    RunResult result_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_SLTP_SLTP_CORE_HH

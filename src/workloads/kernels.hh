@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * The paper evaluates on SPEC2000 compiled for Alpha; neither the
+ * binaries nor the traces are available here, so the suite is replaced by
+ * synthetic analogs (see DESIGN.md's substitution table). The phenomena
+ * iCFP targets are captured by a small set of knobs:
+ *
+ *  - working-set tiers: a D$-resident "hot" region, an L2-resident
+ *    "warm" region, and a memory-resident "cold" region;
+ *  - independent cold loads per iteration (streaming or randomized —
+ *    randomization defeats the stream prefetcher, as in mcf/twolf);
+ *  - pointer-chase hops per iteration (dependent misses — mcf/vpr);
+ *  - store traffic, int/fp compute, data-dependent "noise" branches
+ *    (mispredict pressure), and leaf calls (RAS exercise).
+ *
+ * The generated program is a loop whose body is a seeded shuffle of these
+ * operations, with loaded values feeding later ALU ops so the in-order
+ * baseline exhibits realistic stall-at-use behaviour.
+ */
+
+#ifndef ICFP_WORKLOADS_KERNELS_HH
+#define ICFP_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace icfp {
+
+/** Workload synthesis knobs. */
+struct WorkloadParams
+{
+    std::string name = "workload";
+    uint64_t seed = 1;
+
+    // Working-set tiers (bytes; rounded up to powers of two internally).
+    size_t hotBytes = 16 * 1024;        ///< fits the 32KB D$
+    size_t warmBytes = 256 * 1024;      ///< fits the 1MB L2
+    size_t coldBytes = 16 * 1024 * 1024;///< busts the L2
+
+    // Per-iteration operation counts.
+    unsigned hotLoads = 2;
+    unsigned warmLoads = 0;   ///< D$ misses that hit the L2
+    unsigned coldLoads = 0;   ///< all-level misses (independent)
+    unsigned chaseHops = 0;   ///< dependent all-level misses (per iter)
+    unsigned warmChaseHops = 0; ///< dependent D$ misses that hit the L2
+    /**
+     * Independent chase chains (1-4): hops round-robin across this many
+     * cursors staggered around the same ring, so chains are serial
+     * internally but overlap with each other (real mcf has baseline D$
+     * MLP ~3, i.e. several concurrent dependence chains).
+     */
+    unsigned chaseChains = 1;
+    unsigned warmChaseChains = 1;
+    /**
+     * Emit an immediate dependent use after every chase hop (the Figure 1
+     * "A -> b" pattern): the in-order pipeline stalls right there, while
+     * advance schemes poison the use and keep going — this is what makes
+     * the paper's in-order mcf/vpr D$ MLP barely above 1.
+     */
+    bool chaseImmediateUse = true;
+    unsigned stores = 1;
+    unsigned intOps = 6;
+    unsigned fpOps = 0;
+    unsigned noiseBranches = 0; ///< data-dependent 50/50 branches
+    unsigned calls = 0;         ///< leaf calls (exercises the RAS)
+
+    /** Cold-load stride; multiples of 128 are stream-prefetch friendly. */
+    unsigned coldStride = 128;
+    /** Randomize cold-load addresses (defeats the prefetcher). */
+    bool coldRandom = false;
+    /** Pointer-chase node spacing (bytes, power of two). */
+    unsigned chaseNodeBytes = 4096;
+    /**
+     * Warm-chase ring size: small enough to warm the L2 within a short
+     * run, big enough (in 64B lines) to keep missing the D$.
+     */
+    size_t warmChaseBytes = 64 * 1024;
+};
+
+/** Build the synthetic program described by @p params. */
+Program buildWorkload(const WorkloadParams &params);
+
+/** Static instructions in one loop body (for sizing dynamic runs). */
+unsigned workloadBodySize(const WorkloadParams &params);
+
+} // namespace icfp
+
+#endif // ICFP_WORKLOADS_KERNELS_HH

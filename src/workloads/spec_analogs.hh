@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic analogs of the 24 SPEC2000 benchmarks the paper evaluates
+ * (Table 2 lists the originals with their D$ / L2 miss rates).
+ *
+ * Each analog is a WorkloadParams configuration whose memory behaviour is
+ * calibrated *qualitatively* against Table 2: which tier of the hierarchy
+ * it stresses, whether its misses are independent (streaming — applu,
+ * art, swim) or dependent (pointer-chasing — mcf, vpr, ammp), whether the
+ * stream prefetcher helps, and how predictable its branches are. See
+ * DESIGN.md's substitution table for why this preserves the paper's
+ * comparisons.
+ */
+
+#ifndef ICFP_WORKLOADS_SPEC_ANALOGS_HH
+#define ICFP_WORKLOADS_SPEC_ANALOGS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/kernels.hh"
+
+namespace icfp {
+
+/** One benchmark analog. */
+struct BenchmarkSpec
+{
+    std::string name;     ///< the SPEC2000 benchmark this stands in for
+    bool isFp = false;    ///< SPECfp vs SPECint (for the geo-mean split)
+    WorkloadParams workload;
+
+    /** Paper Table 2 reference values (for EXPERIMENTS.md comparison). */
+    double paperDcacheMissKi = 0.0;
+    double paperL2MissKi = 0.0;
+};
+
+/** The full 24-benchmark suite in the paper's order (fp then int). */
+const std::vector<BenchmarkSpec> &spec2000Suite();
+
+/** Look up one analog by name; fatal if unknown. */
+const BenchmarkSpec &findBenchmark(const std::string &name);
+
+/** Default dynamic instruction budget per benchmark run. */
+constexpr uint64_t kDefaultBenchInsts = 200000;
+
+} // namespace icfp
+
+#endif // ICFP_WORKLOADS_SPEC_ANALOGS_HH

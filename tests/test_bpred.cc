@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Branch prediction tests: PPM direction predictor learning behaviour,
+ * BTB target capture, RAS call/return matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/branch_unit.hh"
+#include "bpred/ppm_predictor.hh"
+#include "common/rng.hh"
+
+namespace icfp {
+namespace {
+
+double
+trainAccuracy(PpmPredictor &pred, uint64_t pc,
+              const std::vector<bool> &pattern, unsigned reps)
+{
+    uint64_t correct = 0, total = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (const bool taken : pattern) {
+            const bool guess = pred.predict(pc);
+            if (r > 0) { // skip the cold first lap
+                correct += guess == taken;
+                ++total;
+            }
+            pred.update(pc, taken, guess);
+        }
+    }
+    return total ? double(correct) / double(total) : 0.0;
+}
+
+TEST(PpmPredictor, LearnsAlwaysTaken)
+{
+    PpmPredictor pred;
+    EXPECT_GT(trainAccuracy(pred, 0x40, {true}, 100), 0.98);
+}
+
+TEST(PpmPredictor, LearnsAlwaysNotTaken)
+{
+    PpmPredictor pred;
+    EXPECT_GT(trainAccuracy(pred, 0x44, {false}, 100), 0.98);
+}
+
+TEST(PpmPredictor, LearnsShortPeriodicPattern)
+{
+    // T T N repeating needs history, not just a bimodal counter.
+    PpmPredictor pred;
+    EXPECT_GT(trainAccuracy(pred, 0x48, {true, true, false}, 300), 0.90);
+}
+
+TEST(PpmPredictor, LearnsLongerPattern)
+{
+    PpmPredictor pred;
+    EXPECT_GT(
+        trainAccuracy(pred, 0x4c,
+                      {true, false, false, true, true, false, true, false},
+                      400),
+        0.80);
+}
+
+TEST(PpmPredictor, RandomIsHard)
+{
+    PpmPredictor pred;
+    Rng rng(99);
+    uint64_t correct = 0;
+    const unsigned n = 4000;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool taken = rng.chance(0.5);
+        const bool guess = pred.predict(0x50);
+        correct += guess == taken;
+        pred.update(0x50, taken, guess);
+    }
+    EXPECT_LT(double(correct) / n, 0.62);
+    EXPECT_GT(double(correct) / n, 0.38);
+}
+
+TEST(PpmPredictor, DistinguishesBranchesByPc)
+{
+    PpmPredictor pred;
+    for (int i = 0; i < 200; ++i) {
+        const bool g1 = pred.predict(0x100);
+        pred.update(0x100, true, g1);
+        const bool g2 = pred.predict(0x204);
+        pred.update(0x204, false, g2);
+    }
+    EXPECT_TRUE(pred.predict(0x100));
+    EXPECT_FALSE(pred.predict(0x204));
+}
+
+TEST(PpmPredictor, HistoryAdvances)
+{
+    PpmPredictor pred;
+    const uint64_t before = pred.globalHistory();
+    pred.updateHistoryOnly(true);
+    EXPECT_EQ(pred.globalHistory(), (before << 1) | 1);
+    pred.updateHistoryOnly(false);
+    EXPECT_EQ(pred.globalHistory(), ((before << 1) | 1) << 1);
+}
+
+// ---- BranchUnit ----------------------------------------------------------
+
+DynInst
+makeBranch(Opcode op, uint32_t pc, bool taken, uint32_t target)
+{
+    DynInst di;
+    di.op = op;
+    di.pc = pc;
+    di.taken = taken;
+    di.nextPc = taken ? target : pc + 1;
+    return di;
+}
+
+TEST(BranchUnit, BtbLearnsTargets)
+{
+    BranchUnit bu;
+    const DynInst br = makeBranch(Opcode::Beq, 10, true, 42);
+    // First encounter: direction unknown, target unknown.
+    BranchPrediction p = bu.predict(br);
+    bu.resolve(br, p);
+    // Train direction until it predicts taken with the right target.
+    bool ok = false;
+    for (int i = 0; i < 50 && !ok; ++i) {
+        p = bu.predict(br);
+        ok = p.predTaken && p.predNextPc == 42;
+        bu.resolve(br, p);
+    }
+    EXPECT_TRUE(ok);
+}
+
+TEST(BranchUnit, JumpResolvesViaBtb)
+{
+    BranchUnit bu;
+    const DynInst jmp = makeBranch(Opcode::Jmp, 5, true, 77);
+    BranchPrediction p = bu.predict(jmp);
+    EXPECT_FALSE(bu.resolve(jmp, p)); // first time: BTB cold
+    p = bu.predict(jmp);
+    EXPECT_EQ(p.predNextPc, 77u);
+    EXPECT_TRUE(bu.resolve(jmp, p));
+}
+
+TEST(BranchUnit, RasPredictsReturns)
+{
+    BranchUnit bu;
+    // call at pc 4 -> leaf 20; ret at pc 21 -> 5.
+    DynInst call = makeBranch(Opcode::Call, 4, true, 20);
+    call.result = 5;
+    DynInst ret = makeBranch(Opcode::Ret, 21, true, 5);
+
+    BranchPrediction cp = bu.predict(call);
+    bu.resolve(call, cp);
+    BranchPrediction rp = bu.predict(ret);
+    EXPECT_EQ(rp.predNextPc, 5u); // top of RAS
+    EXPECT_TRUE(bu.resolve(ret, rp));
+}
+
+TEST(BranchUnit, RasNesting)
+{
+    BranchUnit bu;
+    // call A (ret to 11), call B (ret to 31): returns must pop in LIFO.
+    DynInst call_a = makeBranch(Opcode::Call, 10, true, 100);
+    DynInst call_b = makeBranch(Opcode::Call, 30, true, 200);
+    DynInst ret_b = makeBranch(Opcode::Ret, 201, true, 31);
+    DynInst ret_a = makeBranch(Opcode::Ret, 101, true, 11);
+
+    bu.resolve(call_a, bu.predict(call_a));
+    bu.resolve(call_b, bu.predict(call_b));
+    BranchPrediction pb = bu.predict(ret_b);
+    EXPECT_EQ(pb.predNextPc, 31u);
+    bu.resolve(ret_b, pb);
+    BranchPrediction pa = bu.predict(ret_a);
+    EXPECT_EQ(pa.predNextPc, 11u);
+}
+
+TEST(BranchUnit, SquashRasEmptiesStack)
+{
+    BranchUnit bu;
+    DynInst call = makeBranch(Opcode::Call, 4, true, 20);
+    bu.resolve(call, bu.predict(call));
+    bu.squashRas();
+    DynInst ret = makeBranch(Opcode::Ret, 21, true, 5);
+    const BranchPrediction rp = bu.predict(ret);
+    EXPECT_NE(rp.predNextPc, 5u); // stack cleared: cannot know
+}
+
+TEST(BranchUnit, CountsMispredicts)
+{
+    BranchUnit bu;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        DynInst br = makeBranch(Opcode::Beq, 8, rng.chance(0.5), 40);
+        bu.resolve(br, bu.predict(br));
+    }
+    EXPECT_EQ(bu.stats().condBranches, 500u);
+    EXPECT_GT(bu.stats().condMispredicts, 100u);
+}
+
+} // namespace
+} // namespace icfp

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, statistics, MLP integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace icfp {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(MlpIntegrator, EmptyIsZero)
+{
+    MlpIntegrator mlp;
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 0.0);
+    EXPECT_EQ(mlp.busyCycles(), 0u);
+    EXPECT_EQ(mlp.count(), 0u);
+}
+
+TEST(MlpIntegrator, SingleIntervalIsOne)
+{
+    MlpIntegrator mlp;
+    mlp.record(100, 500);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 1.0);
+    EXPECT_EQ(mlp.busyCycles(), 400u);
+    EXPECT_EQ(mlp.count(), 1u);
+}
+
+TEST(MlpIntegrator, TwoFullyOverlappedIsTwo)
+{
+    MlpIntegrator mlp;
+    mlp.record(0, 100);
+    mlp.record(0, 100);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 2.0);
+    EXPECT_EQ(mlp.busyCycles(), 100u);
+}
+
+TEST(MlpIntegrator, DisjointIntervalsIsOne)
+{
+    MlpIntegrator mlp;
+    mlp.record(0, 100);
+    mlp.record(200, 300);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 1.0);
+    EXPECT_EQ(mlp.busyCycles(), 200u);
+}
+
+TEST(MlpIntegrator, PartialOverlap)
+{
+    MlpIntegrator mlp;
+    // [0,100) and [50,150): 100 cycles at level 1, 50 at level 2.
+    mlp.record(0, 100);
+    mlp.record(50, 150);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 200.0 / 150.0);
+    EXPECT_EQ(mlp.busyCycles(), 150u);
+}
+
+TEST(MlpIntegrator, ZeroLengthIgnored)
+{
+    MlpIntegrator mlp;
+    mlp.record(10, 10);
+    EXPECT_EQ(mlp.count(), 0u);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 0.0);
+}
+
+TEST(MlpIntegrator, ResetClears)
+{
+    MlpIntegrator mlp;
+    mlp.record(0, 10);
+    mlp.reset();
+    EXPECT_EQ(mlp.count(), 0u);
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 0.0);
+}
+
+TEST(MlpIntegrator, OutOfOrderRecording)
+{
+    MlpIntegrator mlp;
+    mlp.record(200, 300);
+    mlp.record(0, 100);
+    mlp.record(250, 350);
+    EXPECT_EQ(mlp.busyCycles(), 250u);
+    // area = 100 + 100 + 100 = 300... intervals: [0,100)=1, [200,250)=1,
+    // [250,300)=2, [300,350)=1 -> area 100+50+100+50 = 300, busy 250.
+    EXPECT_DOUBLE_EQ(mlp.mlp(), 300.0 / 250.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(9); // overflow -> last bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.sum(), 11u);
+    EXPECT_DOUBLE_EQ(h.mean(), 11.0 / 4.0);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace icfp

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Property tests over randomized programs: every timing core must carry
+ * correct architectural state (each model asserts its values against the
+ * golden interpreter internally and verifies final register/memory
+ * equality), for arbitrary shuffles of loads, stores, chases, branches
+ * and compute, across seeds and across the iCFP configuration grid.
+ *
+ * These sweeps are the main defense for the merge machinery: sequence
+ * gating, chained-store-buffer forwarding, slice re-execution, squash
+ * recovery, and the simple-runahead rewind all get exercised under
+ * adversarial interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace icfp {
+namespace {
+
+/** A stress workload touching every mechanism at once. */
+WorkloadParams
+stressParams(uint64_t seed)
+{
+    WorkloadParams w;
+    w.name = "stress-" + std::to_string(seed);
+    w.seed = seed;
+    w.hotBytes = 8 * 1024;
+    w.warmBytes = 128 * 1024;
+    w.coldBytes = 4 * 1024 * 1024;
+    w.hotLoads = 2;
+    w.warmLoads = 1;
+    w.coldLoads = 1;
+    w.chaseHops = 1 + seed % 2;
+    w.warmChaseHops = 1;
+    w.chaseChains = 1 + seed % 2;
+    w.stores = 2 + seed % 3;
+    w.intOps = 6;
+    w.fpOps = 2;
+    w.noiseBranches = 1;
+    w.calls = seed % 2;
+    w.coldRandom = seed % 3 == 0;
+    w.chaseNodeBytes = 4096;
+    return w;
+}
+
+class SeededCoreTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>>
+{
+};
+
+TEST_P(SeededCoreTest, GoldenEquivalenceUnderStress)
+{
+    const auto [kind_int, seed] = GetParam();
+    const Program program = buildWorkload(stressParams(seed));
+    const Trace trace = Interpreter::run(program, 12000);
+    SimConfig cfg;
+    const RunResult r =
+        simulate(static_cast<CoreKind>(kind_int), cfg, trace);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCoresBySeed, SeededCoreTest,
+    ::testing::Combine(::testing::Range(0, 7), // all seven core kinds
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                         34u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>> &info) {
+        std::string name = coreKindName(
+            static_cast<CoreKind>(std::get<0>(info.param)));
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- iCFP configuration grid -------------------------------------------------
+
+struct ICfpGridPoint
+{
+    const char *name;
+    unsigned poisonBits;
+    bool nonBlocking;
+    bool multithreaded;
+    SbMode sbMode;
+};
+
+class ICfpGridTest : public ::testing::TestWithParam<ICfpGridPoint>
+{
+};
+
+TEST_P(ICfpGridTest, CorrectAcrossConfigGrid)
+{
+    const ICfpGridPoint &point = GetParam();
+    for (const uint64_t seed : {7u, 11u}) {
+        const Program program = buildWorkload(stressParams(seed));
+        const Trace trace = Interpreter::run(program, 10000);
+        SimConfig cfg;
+        cfg.icfp.poisonBits = point.poisonBits;
+        cfg.icfp.nonBlockingRally = point.nonBlocking;
+        cfg.icfp.multithreadedRally = point.multithreaded;
+        cfg.icfp.storeBuffer.mode = point.sbMode;
+        const RunResult r = simulate(CoreKind::ICfp, cfg, trace);
+        EXPECT_EQ(r.instructions, trace.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ICfpGridTest,
+    ::testing::Values(
+        ICfpGridPoint{"blocking_1bit", 1, false, false, SbMode::Chained},
+        ICfpGridPoint{"nonblock_1bit", 1, true, false, SbMode::Chained},
+        ICfpGridPoint{"nonblock_2bit", 2, true, false, SbMode::Chained},
+        ICfpGridPoint{"nonblock_4bit", 4, true, false, SbMode::Chained},
+        ICfpGridPoint{"nonblock_8bit", 8, true, false, SbMode::Chained},
+        ICfpGridPoint{"mt_8bit", 8, true, true, SbMode::Chained},
+        ICfpGridPoint{"mt_8bit_assoc", 8, true, true, SbMode::FullyAssoc},
+        ICfpGridPoint{"mt_8bit_indexed", 8, true, true,
+                      SbMode::IndexedLimited},
+        ICfpGridPoint{"mt_1bit", 1, true, true, SbMode::Chained}),
+    [](const ::testing::TestParamInfo<ICfpGridPoint> &info) {
+        return std::string(info.param.name);
+    });
+
+// ---- structure-size stress ---------------------------------------------------
+
+class ICfpSizesTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(ICfpSizesTest, TinyStructuresStillCorrect)
+{
+    const auto [slice_entries, sb_entries] = GetParam();
+    const Program program = buildWorkload(stressParams(3));
+    const Trace trace = Interpreter::run(program, 8000);
+    SimConfig cfg;
+    cfg.icfp.sliceEntries = slice_entries;
+    cfg.icfp.storeBuffer.entries = sb_entries;
+    const RunResult r = simulate(CoreKind::ICfp, cfg, trace);
+    EXPECT_EQ(r.instructions, trace.size());
+    // With tiny buffers the simple-runahead fallback must engage.
+    if (slice_entries <= 8) {
+        EXPECT_GT(r.simpleRaEntries, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ICfpSizesTest,
+    ::testing::Combine(::testing::Values(4u, 8u, 32u, 128u),
+                       ::testing::Values(8u, 32u, 128u)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, unsigned>>
+           &info) {
+        return "slice" + std::to_string(std::get<0>(info.param)) + "_sb" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---- timing monotonicity sanity ----------------------------------------------
+
+TEST(CoreSanity, LongerMemoryLatencyNeverHelps)
+{
+    const Program program = buildWorkload(stressParams(4));
+    const Trace trace = Interpreter::run(program, 10000);
+    Cycle prev = 0;
+    for (const Cycle lat : {200u, 400u, 800u}) {
+        SimConfig cfg;
+        cfg.mem.memory.accessLatency = lat;
+        const RunResult r = simulate(CoreKind::InOrder, cfg, trace);
+        EXPECT_GE(r.cycles, prev);
+        prev = r.cycles;
+    }
+}
+
+TEST(CoreSanity, WiderIssueNeverHurtsInOrder)
+{
+    const Program program = buildWorkload(stressParams(6));
+    const Trace trace = Interpreter::run(program, 10000);
+    SimConfig narrow;
+    narrow.core.issueWidth = 1;
+    narrow.core.intAluSlots = 1;
+    SimConfig wide;
+    wide.core.issueWidth = 4;
+    wide.core.intAluSlots = 4;
+    wide.core.memFpBrSlots = 2;
+    const RunResult rn = simulate(CoreKind::InOrder, narrow, trace);
+    const RunResult rw = simulate(CoreKind::InOrder, wide, trace);
+    EXPECT_LE(rw.cycles, rn.cycles);
+}
+
+TEST(CoreSanity, PerfectBranchWorldIsFasterOrEqual)
+{
+    // Removing noise branches (the only mispredict source) must not slow
+    // any model down.
+    WorkloadParams noisy = stressParams(9);
+    WorkloadParams quiet = noisy;
+    quiet.noiseBranches = 0;
+    quiet.intOps += 2 * noisy.noiseBranches; // keep body size comparable
+    const Trace tn = Interpreter::run(buildWorkload(noisy), 10000);
+    const Trace tq = Interpreter::run(buildWorkload(quiet), 10000);
+    SimConfig cfg;
+    const RunResult rn = simulate(CoreKind::ICfp, cfg, tn);
+    const RunResult rq = simulate(CoreKind::ICfp, cfg, tq);
+    // Same instruction count budget; the quiet one can only be faster or
+    // about equal (different shuffles add noise, hence the 5% slack).
+    EXPECT_LE(rq.cycles, rn.cycles * 105 / 100);
+}
+
+TEST(CoreSanity, IcfpNeverCatastrophicallyWorseThanInOrder)
+{
+    // Across a batch of random stress programs, iCFP stays within a few
+    // percent of in-order even in the worst case (the paper shows no
+    // slowdowns; pure-serial adversarial programs cost at most epoch
+    // bookkeeping).
+    for (const uint64_t seed : {2u, 4u, 6u, 10u, 12u}) {
+        const Program program = buildWorkload(stressParams(seed));
+        const Trace trace = Interpreter::run(program, 10000);
+        SimConfig cfg;
+        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
+        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+        EXPECT_LE(ic.cycles, base.cycles * 110 / 100) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace icfp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Round-trip and robustness tests for the binary program/trace
+ * serialization (isa/trace_io.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "isa/trace_io.hh"
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace icfp {
+namespace {
+
+Program
+sampleProgram()
+{
+    ProgramBuilder b(4096);
+    b.li(1, 64);
+    b.li(2, -17);
+    const uint32_t loop = b.label();
+    b.ld(3, 1, 8);
+    b.add(4, 3, 2);
+    b.st(4, 1, 8);
+    b.addi(1, 1, 8);
+    b.andi(1, 1, 1023);
+    b.bne(1, 0, loop);
+    b.halt();
+    b.poke(8, 42);
+    return b.build("sample");
+}
+
+TEST(TraceIo, ProgramRoundTrip)
+{
+    const Program p = sampleProgram();
+    std::stringstream ss;
+    writeProgram(ss, p);
+    const Program q = readProgram(ss);
+
+    ASSERT_EQ(q.code.size(), p.code.size());
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        EXPECT_EQ(q.code[i].op, p.code[i].op) << "inst " << i;
+        EXPECT_EQ(q.code[i].dst, p.code[i].dst);
+        EXPECT_EQ(q.code[i].src1, p.code[i].src1);
+        EXPECT_EQ(q.code[i].src2, p.code[i].src2);
+        EXPECT_EQ(q.code[i].imm, p.code[i].imm);
+        EXPECT_EQ(q.code[i].target, p.code[i].target);
+    }
+    EXPECT_EQ(q.initialMemory, p.initialMemory);
+    EXPECT_EQ(q.name, p.name);
+}
+
+TEST(TraceIo, TraceRoundTripPreservesEverything)
+{
+    const Trace t = Interpreter::run(sampleProgram(), 500);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const Trace u = readTrace(ss);
+
+    ASSERT_EQ(u.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(u[i].pc, t[i].pc) << "dyninst " << i;
+        EXPECT_EQ(u[i].nextPc, t[i].nextPc);
+        EXPECT_EQ(u[i].op, t[i].op);
+        EXPECT_EQ(u[i].addr, t[i].addr);
+        EXPECT_EQ(u[i].result, t[i].result);
+        EXPECT_EQ(u[i].storeValue, t[i].storeValue);
+        EXPECT_EQ(u[i].taken, t[i].taken);
+    }
+    EXPECT_EQ(u.finalRegs, t.finalRegs);
+    EXPECT_EQ(u.finalMemory, t.finalMemory);
+    EXPECT_EQ(u.halted, t.halted);
+}
+
+TEST(TraceIo, ReloadedTraceReplaysIdentically)
+{
+    const Trace t =
+        Interpreter::run(buildWorkload(findBenchmark("gzip").workload),
+                         5000);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const Trace u = readTrace(ss);
+
+    SimConfig cfg;
+    const RunResult a = simulate(CoreKind::ICfp, cfg, t);
+    const RunResult b = simulate(CoreKind::ICfp, cfg, u);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mem.dcacheMisses, b.mem.dcacheMisses);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace t = Interpreter::run(sampleProgram(), 200);
+    const std::string path = ::testing::TempDir() + "icfp_trace_rt.bin";
+    saveTraceFile(path, t);
+    const Trace u = loadTraceFile(path);
+    EXPECT_EQ(u.size(), t.size());
+    EXPECT_EQ(u.finalMemory, t.finalMemory);
+    std::remove(path.c_str());
+}
+
+using TraceIoDeath = ::testing::Test;
+
+TEST(TraceIoDeath, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOTATRACEFILE----------";
+    EXPECT_DEATH({ readTrace(ss); }, "bad magic");
+}
+
+TEST(TraceIoDeath, RejectsTruncatedStream)
+{
+    const Trace t = Interpreter::run(sampleProgram(), 200);
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_DEATH({ readTrace(cut); }, "truncated|corrupt");
+}
+
+TEST(TraceIoDeath, RejectsCorruptOpcode)
+{
+    const Program p = sampleProgram();
+    std::stringstream ss;
+    writeProgram(ss, p);
+    std::string bytes = ss.str();
+    // Opcode byte of the first instruction record: magic(8) +
+    // name(4+len) + count(4).
+    const size_t off = 8 + 4 + p.name.size() + 4;
+    bytes[off] = static_cast<char>(0xee);
+    std::stringstream bad(bytes);
+    EXPECT_DEATH({ readProgram(bad); }, "bad opcode");
+}
+
+} // namespace
+} // namespace icfp

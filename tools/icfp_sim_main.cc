@@ -1,0 +1,354 @@
+/**
+ * @file
+ * icfp-sim — command-line driver for the simulation library.
+ *
+ * Subcommands:
+ *   list                         show the benchmark analog suite
+ *   run     --bench B --core C   run one model, print full statistics
+ *   compare --bench B            run every model on one benchmark
+ *   suite   --core C             run one model over the whole suite
+ *   trace   --bench B --save-trace F   generate + save a golden trace
+ *   disasm  --bench B [--n N]    print the first N dynamic instructions
+ *
+ * Common options:
+ *   --insts N        dynamic instruction budget (default 200000)
+ *   --seed S         workload RNG seed override
+ *   --l2-lat N       L2 hit latency in cycles (Figure 6 sweeps)
+ *   --mem-lat N      memory latency in cycles
+ *   --poison-bits N  iCFP poison-vector width (1..16)
+ *   --trigger T      advance trigger: none | l2 | any
+ *   --blocking-rally use single blocking rallies (SLTP-style iCFP)
+ *   --no-mt-rally    disable multithreaded rally+tail execution
+ *   --load-trace F   replay a saved trace instead of generating one
+ *   --save-trace F   also save the generated trace
+ *
+ * Exit status: 0 on success, 1 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/trace_io.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace icfp;
+
+/** Parsed command line. */
+struct Options
+{
+    std::string command;
+    std::string bench = "mcf";
+    std::string core = "icfp";
+    uint64_t insts = kDefaultBenchInsts;
+    std::optional<uint64_t> seed;
+    std::optional<Cycle> l2Latency;
+    std::optional<Cycle> memLatency;
+    std::optional<unsigned> poisonBits;
+    std::optional<std::string> trigger;
+    bool blockingRally = false;
+    bool noMtRally = false;
+    std::optional<std::string> loadTrace;
+    std::optional<std::string> saveTrace;
+    unsigned disasmCount = 32;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: icfp-sim <list|run|compare|suite|trace|disasm> "
+                 "[options]\n"
+                 "run 'icfp-sim help' or see the file comment in "
+                 "tools/icfp_sim_main.cc for the option list\n");
+}
+
+/** Parse a named core kind; nullopt if unknown. */
+std::optional<CoreKind>
+parseCore(const std::string &name)
+{
+    if (name == "inorder" || name == "in-order")
+        return CoreKind::InOrder;
+    if (name == "runahead" || name == "ra")
+        return CoreKind::Runahead;
+    if (name == "multipass" || name == "mp")
+        return CoreKind::Multipass;
+    if (name == "sltp")
+        return CoreKind::Sltp;
+    if (name == "icfp")
+        return CoreKind::ICfp;
+    if (name == "ooo")
+        return CoreKind::Ooo;
+    if (name == "cfp")
+        return CoreKind::Cfp;
+    return std::nullopt;
+}
+
+bool
+parseArgs(int argc, char **argv, Options *opt)
+{
+    if (argc < 2)
+        return false;
+    opt->command = argv[1];
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            opt->bench = next();
+        } else if (arg == "--core") {
+            opt->core = next();
+        } else if (arg == "--insts") {
+            opt->insts = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--seed") {
+            opt->seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--l2-lat") {
+            opt->l2Latency = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--mem-lat") {
+            opt->memLatency = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--poison-bits") {
+            opt->poisonBits =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--trigger") {
+            opt->trigger = next();
+        } else if (arg == "--blocking-rally") {
+            opt->blockingRally = true;
+        } else if (arg == "--no-mt-rally") {
+            opt->noMtRally = true;
+        } else if (arg == "--load-trace") {
+            opt->loadTrace = next();
+        } else if (arg == "--save-trace") {
+            opt->saveTrace = next();
+        } else if (arg == "--n") {
+            opt->disasmCount =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Apply option overrides onto a default SimConfig. */
+SimConfig
+makeConfig(const Options &opt)
+{
+    SimConfig cfg;
+    if (opt.l2Latency)
+        cfg.mem.l2HitLatency = *opt.l2Latency;
+    if (opt.memLatency)
+        cfg.mem.memory.accessLatency = *opt.memLatency;
+    if (opt.poisonBits) {
+        cfg.icfp.poisonBits = *opt.poisonBits;
+        cfg.mem.poisonBits = *opt.poisonBits;
+    }
+    if (opt.trigger) {
+        AdvanceTrigger t = AdvanceTrigger::AnyDcache;
+        if (*opt.trigger == "none")
+            t = AdvanceTrigger::None;
+        else if (*opt.trigger == "l2")
+            t = AdvanceTrigger::L2Only;
+        else if (*opt.trigger != "any")
+            ICFP_FATAL("bad --trigger %s", opt.trigger->c_str());
+        cfg.icfp.trigger = t;
+        cfg.runahead.trigger = t;
+    }
+    if (opt.blockingRally)
+        cfg.icfp.nonBlockingRally = false;
+    if (opt.noMtRally)
+        cfg.icfp.multithreadedRally = false;
+    return cfg;
+}
+
+/** Build (or load) the golden trace per the options. */
+Trace
+makeTrace(const Options &opt)
+{
+    if (opt.loadTrace)
+        return loadTraceFile(*opt.loadTrace);
+    BenchmarkSpec spec = findBenchmark(opt.bench);
+    if (opt.seed)
+        spec.workload.seed = *opt.seed;
+    Trace trace = makeBenchTrace(spec, opt.insts);
+    if (opt.saveTrace)
+        saveTraceFile(*opt.saveTrace, trace);
+    return trace;
+}
+
+void
+printResult(const RunResult &r)
+{
+    Table t("Run statistics: " + r.core);
+    t.setColumns({"metric", "value"});
+    t.addRow("instructions", {double(r.instructions)}, 0);
+    t.addRow("cycles", {double(r.cycles)}, 0);
+    t.addRow("IPC", {r.ipc()}, 3);
+    t.addRow("D$ misses/KI", {r.missPerKi(r.mem.dcacheMisses)}, 2);
+    t.addRow("L2 misses/KI", {r.missPerKi(r.mem.l2Misses)}, 2);
+    t.addRow("D$ MLP", {r.dcacheMlp}, 2);
+    t.addRow("L2 MLP", {r.l2Mlp}, 2);
+    t.addRow("prefetch hits", {double(r.mem.prefetchHits)}, 0);
+    t.addRow("cond mispredicts", {double(r.branch.condMispredicts)}, 0);
+    t.addRow("advance entries", {double(r.advanceEntries)}, 0);
+    t.addRow("advance insts", {double(r.advanceInsts)}, 0);
+    t.addRow("sliced insts", {double(r.slicedInsts)}, 0);
+    t.addRow("rally passes", {double(r.rallyPasses)}, 0);
+    t.addRow("rally insts/KI", {r.rallyPerKi()}, 1);
+    t.addRow("squashes", {double(r.squashes)}, 0);
+    t.addRow("simple-RA entries", {double(r.simpleRaEntries)}, 0);
+    t.addRow("SB excess hops/load",
+             {r.sbChainLoads ? double(r.sbExcessHops) / double(r.sbChainLoads)
+                             : 0.0},
+             3);
+    t.print();
+}
+
+int
+cmdList()
+{
+    Table t("Benchmark analogs (paper Table 2 reference miss rates)");
+    t.setColumns({"bench", "fp?", "paper D$/KI", "paper L2/KI"});
+    for (const BenchmarkSpec &spec : spec2000Suite()) {
+        t.addRow(spec.name,
+                 {spec.isFp ? 1.0 : 0.0, spec.paperDcacheMissKi,
+                  spec.paperL2MissKi},
+                 0);
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdRun(const Options &opt)
+{
+    const auto kind = parseCore(opt.core);
+    if (!kind) {
+        std::fprintf(stderr, "unknown core '%s'\n", opt.core.c_str());
+        return 1;
+    }
+    const Trace trace = makeTrace(opt);
+    const SimConfig cfg = makeConfig(opt);
+    printResult(simulate(*kind, cfg, trace));
+    return 0;
+}
+
+int
+cmdCompare(const Options &opt)
+{
+    const Trace trace = makeTrace(opt);
+    const SimConfig cfg = makeConfig(opt);
+    Table t("All models on " + opt.bench);
+    t.setColumns({"core", "IPC", "speedup %", "D$ MLP", "L2 MLP",
+                  "rally/KI"});
+    const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
+    for (CoreKind kind :
+         {CoreKind::InOrder, CoreKind::Runahead, CoreKind::Multipass,
+          CoreKind::Sltp, CoreKind::ICfp, CoreKind::Ooo, CoreKind::Cfp}) {
+        const RunResult r = simulate(kind, cfg, trace);
+        t.addRow(coreKindName(kind),
+                 {r.ipc(), percentSpeedup(base, r), r.dcacheMlp, r.l2Mlp,
+                  r.rallyPerKi()},
+                 2);
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdSuite(const Options &opt)
+{
+    const auto kind = parseCore(opt.core);
+    if (!kind) {
+        std::fprintf(stderr, "unknown core '%s'\n", opt.core.c_str());
+        return 1;
+    }
+    const SimConfig cfg = makeConfig(opt);
+    Table t("Suite results: " + opt.core);
+    t.setColumns({"bench", "IPC", "D$ miss/KI", "L2 miss/KI", "D$ MLP",
+                  "L2 MLP"});
+    for (const BenchmarkSpec &spec : spec2000Suite()) {
+        Options o = opt;
+        o.bench = spec.name;
+        const Trace trace = makeTrace(o);
+        const RunResult r = simulate(*kind, cfg, trace);
+        t.addRow(spec.name,
+                 {r.ipc(), r.missPerKi(r.mem.dcacheMisses),
+                  r.missPerKi(r.mem.l2Misses), r.dcacheMlp, r.l2Mlp},
+                 2);
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdTrace(const Options &opt)
+{
+    if (!opt.saveTrace) {
+        std::fprintf(stderr, "trace: requires --save-trace FILE\n");
+        return 1;
+    }
+    const Trace trace = makeTrace(opt);
+    std::printf("saved %zu dynamic instructions to %s\n", trace.size(),
+                opt.saveTrace->c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const Options &opt)
+{
+    const Trace trace = makeTrace(opt);
+    const size_t n =
+        std::min<size_t>(opt.disasmCount, trace.size());
+    for (size_t i = 0; i < n; ++i) {
+        const DynInst &di = trace[i];
+        std::printf("%6zu  pc=%-5u %-28s", i, di.pc,
+                    disassemble(trace.program->code[di.pc]).c_str());
+        if (di.isMem())
+            std::printf("  ea=0x%llx", (unsigned long long)di.addr);
+        if (di.hasDst())
+            std::printf("  -> %llu", (unsigned long long)di.result);
+        if (di.isControl())
+            std::printf("  %s", di.taken ? "taken" : "not-taken");
+        std::printf("\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, &opt)) {
+        usage();
+        return 1;
+    }
+    if (opt.command == "list")
+        return cmdList();
+    if (opt.command == "run")
+        return cmdRun(opt);
+    if (opt.command == "compare")
+        return cmdCompare(opt);
+    if (opt.command == "suite")
+        return cmdSuite(opt);
+    if (opt.command == "trace")
+        return cmdTrace(opt);
+    if (opt.command == "disasm")
+        return cmdDisasm(opt);
+    usage();
+    return 1;
+}
