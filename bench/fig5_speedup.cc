@@ -8,11 +8,17 @@
  * Runahead and SLTP advance under L2 misses only; Multipass advances
  * under L2 misses and primary data cache misses; iCFP advances under all
  * misses (Section 5.1).
+ *
+ * Runs the whole (benchmark × model) grid on the sweep engine
+ * (sim/sweep.hh): one golden trace per benchmark shared by all five
+ * models, jobs spread over ICFP_SWEEP_JOBS worker threads (default:
+ * hardware concurrency). Output is identical for any thread count.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "sim/sweep.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -21,9 +27,22 @@ int
 main()
 {
     const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    SimConfig cfg; // Table 1 defaults; per-scheme triggers are defaulted
-                   // to the paper's Figure 5 settings in each params struct
+    const SimConfig cfg; // Table 1 defaults; per-scheme triggers are
+                         // defaulted to the paper's Figure 5 settings in
+                         // each params struct
+
+    SweepSpec spec;
+    spec.benches = suiteNames();
+    spec.variants = {
+        {"base", CoreKind::InOrder, cfg}, {"RA", CoreKind::Runahead, cfg},
+        {"MP", CoreKind::Multipass, cfg}, {"SLTP", CoreKind::Sltp, cfg},
+        {"iCFP", CoreKind::ICfp, cfg},
+    };
+    spec.insts = insts;
+
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    const size_t stride = spec.variants.size();
 
     Table table("Figure 5: % speedup over in-order "
                 "(" + std::to_string(insts) + " insts/benchmark)");
@@ -33,15 +52,16 @@ main()
     std::vector<double> r_ra_fp, r_mp_fp, r_sl_fp, r_ic_fp;
     std::vector<double> r_ra_int, r_mp_int, r_sl_int, r_ic_int;
 
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        const Trace &trace = traces.get(spec.name);
-        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
-        const RunResult ra = simulate(CoreKind::Runahead, cfg, trace);
-        const RunResult mp = simulate(CoreKind::Multipass, cfg, trace);
-        const RunResult sl = simulate(CoreKind::Sltp, cfg, trace);
-        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+    const std::vector<BenchmarkSpec> &suite = spec2000Suite();
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const BenchmarkSpec &bench = suite[b];
+        const RunResult &base = results[b * stride + 0].result;
+        const RunResult &ra = results[b * stride + 1].result;
+        const RunResult &mp = results[b * stride + 2].result;
+        const RunResult &sl = results[b * stride + 3].result;
+        const RunResult &ic = results[b * stride + 4].result;
 
-        table.addRow(spec.name,
+        table.addRow(bench.name,
                      {base.ipc(), percentSpeedup(base, ra),
                       percentSpeedup(base, mp), percentSpeedup(base, sl),
                       percentSpeedup(base, ic)},
@@ -50,10 +70,10 @@ main()
         auto ratio = [&base](const RunResult &r) {
             return double(base.cycles) / double(r.cycles);
         };
-        auto &ras = spec.isFp ? r_ra_fp : r_ra_int;
-        auto &mps = spec.isFp ? r_mp_fp : r_mp_int;
-        auto &sls = spec.isFp ? r_sl_fp : r_sl_int;
-        auto &ics = spec.isFp ? r_ic_fp : r_ic_int;
+        auto &ras = bench.isFp ? r_ra_fp : r_ra_int;
+        auto &mps = bench.isFp ? r_mp_fp : r_mp_int;
+        auto &sls = bench.isFp ? r_sl_fp : r_sl_int;
+        auto &ics = bench.isFp ? r_ic_fp : r_ic_int;
         ras.push_back(ratio(ra));
         mps.push_back(ratio(mp));
         sls.push_back(ratio(sl));

@@ -12,9 +12,16 @@
  *
  * Reported for the equake analog (the paper's case study of the
  * secondary-miss dilemma) and as a geometric mean over the full suite.
+ *
+ * The whole (benchmark × latency × config) grid — 5 latencies × 6
+ * series (baseline + 5 schemes) per benchmark — runs as one sweep
+ * (sim/sweep.hh): each golden trace is generated once and shared by all
+ * 30 configurations that replay it.
  */
 
 #include "bench_util.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -42,6 +49,9 @@ const Config kConfigs[] = {
      SecondaryMissPolicy::Poison},
 };
 
+constexpr size_t kNumConfigs = std::size(kConfigs);
+const Cycle kLatencies[] = {10, 20, 30, 40, 50};
+
 SimConfig
 makeConfig(const Config &config, Cycle l2_latency)
 {
@@ -60,8 +70,42 @@ int
 main()
 {
     const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    const Cycle latencies[] = {10, 20, 30, 40, 50};
+
+    // Variant axis: per latency, the in-order baseline then the five
+    // scheme configurations. Stride within one benchmark's results:
+    // lat-major, series-minor.
+    SweepSpec spec;
+    spec.benches = suiteNames();
+    spec.insts = insts;
+    for (const Cycle lat : kLatencies) {
+        SimConfig base_cfg;
+        base_cfg.mem.l2HitLatency = lat;
+        spec.variants.push_back({"base/l2=" + std::to_string(lat),
+                                 CoreKind::InOrder, base_cfg});
+        for (const Config &config : kConfigs) {
+            spec.variants.push_back(
+                {std::string(config.name) + "/l2=" + std::to_string(lat),
+                 config.kind, makeConfig(config, lat)});
+        }
+    }
+
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    const size_t stride = spec.variants.size();
+    const size_t per_lat = 1 + kNumConfigs;
+
+    // Result for (bench b, latency index l, series s); s == 0 is the
+    // in-order baseline.
+    auto resultAt = [&](size_t b, size_t l, size_t s) -> const RunResult & {
+        return results[b * stride + l * per_lat + s].result;
+    };
+    const std::vector<BenchmarkSpec> &suite = spec2000Suite();
+    const size_t equake_idx = [&]() -> size_t {
+        for (size_t b = 0; b < suite.size(); ++b)
+            if (suite[b].name == "equake")
+                return b;
+        ICFP_FATAL("equake analog missing from spec2000Suite()");
+    }();
 
     // --- equake case study --------------------------------------------------
     {
@@ -69,19 +113,13 @@ main()
                     "L2 hit latency");
         table.setColumns({"L2 lat", "RA-L2", "RA-L2/D$pri", "RA-all",
                           "iCFP-L2", "iCFP-all"});
-        const Trace &trace = traces.get("equake");
-        for (const Cycle lat : latencies) {
+        for (size_t l = 0; l < std::size(kLatencies); ++l) {
             std::vector<double> row;
-            SimConfig base_cfg;
-            base_cfg.mem.l2HitLatency = lat;
-            const RunResult base =
-                simulate(CoreKind::InOrder, base_cfg, trace);
-            for (const Config &config : kConfigs) {
-                const RunResult r =
-                    simulate(config.kind, makeConfig(config, lat), trace);
-                row.push_back(percentSpeedup(base, r));
+            for (size_t c = 0; c < kNumConfigs; ++c) {
+                row.push_back(percentSpeedup(resultAt(equake_idx, l, 0),
+                                             resultAt(equake_idx, l, c + 1)));
             }
-            table.addRow(std::to_string(lat), row, 1);
+            table.addRow(std::to_string(kLatencies[l]), row, 1);
         }
         table.addNote("");
         table.addNote("Paper: at short L2 latencies equake prefers RA to "
@@ -96,26 +134,16 @@ main()
                     "in-order vs L2 hit latency");
         table.setColumns({"L2 lat", "RA-L2", "RA-L2/D$pri", "RA-all",
                           "iCFP-L2", "iCFP-all"});
-        for (const Cycle lat : latencies) {
-            std::vector<std::vector<double>> ratios(std::size(kConfigs));
-            SimConfig base_cfg;
-            base_cfg.mem.l2HitLatency = lat;
-            for (const BenchmarkSpec &spec : spec2000Suite()) {
-                const Trace &trace = traces.get(spec.name);
-                const RunResult base =
-                    simulate(CoreKind::InOrder, base_cfg, trace);
-                for (size_t c = 0; c < std::size(kConfigs); ++c) {
-                    const RunResult r = simulate(
-                        kConfigs[c].kind, makeConfig(kConfigs[c], lat),
-                        trace);
-                    ratios[c].push_back(double(base.cycles) /
-                                        double(r.cycles));
-                }
-            }
+        for (size_t l = 0; l < std::size(kLatencies); ++l) {
             std::vector<double> row;
-            for (const auto &r : ratios)
-                row.push_back(geomeanSpeedupPct(r));
-            table.addRow(std::to_string(lat), row, 1);
+            for (size_t c = 0; c < kNumConfigs; ++c) {
+                std::vector<double> ratios;
+                for (size_t b = 0; b < suite.size(); ++b)
+                    ratios.push_back(double(resultAt(b, l, 0).cycles) /
+                                     double(resultAt(b, l, c + 1).cycles));
+                row.push_back(geomeanSpeedupPct(ratios));
+            }
+            table.addRow(std::to_string(kLatencies[l]), row, 1);
         }
         table.addNote("");
         table.addNote("Paper: higher L2 latency makes advancing on data "

@@ -1,6 +1,7 @@
 #include "core/inorder_core.hh"
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -97,4 +98,17 @@ InOrderCore::run(const Trace &trace)
     return result;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerInOrder(
+    CoreKind::InOrder, "in-order", {"inorder", "io"},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<InOrderCore>(cfg.core, cfg.mem);
+    });
+
+} // namespace
 } // namespace icfp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -909,4 +910,17 @@ ICfpCore::run(const Trace &trace)
     return result_;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerICfp(
+    CoreKind::ICfp, "icfp", {},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<ICfpCore>(cfg.core, cfg.mem, cfg.icfp);
+    });
+
+} // namespace
 } // namespace icfp

@@ -33,6 +33,7 @@
 #ifndef ICFP_ICFP_ICFP_CORE_HH
 #define ICFP_ICFP_ICFP_CORE_HH
 
+#include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -40,48 +41,12 @@
 #include "core/core_base.hh"
 #include "core/register_file.hh"
 #include "icfp/chained_store_buffer.hh"
+#include "icfp/icfp_params.hh"
 #include "icfp/poison.hh"
 #include "icfp/signature.hh"
 #include "icfp/slice_buffer.hh"
 
 namespace icfp {
-
-/** What advance execution does when a store's address is poisoned. */
-enum class PoisonAddrPolicy : uint8_t {
-    Stall,         ///< stall the tail until the address resolves
-    SimpleRunahead,///< fall back to non-committing advance
-};
-
-/** iCFP configuration (Table 1 defaults; flags for Figures 6/7/8). */
-struct ICfpParams
-{
-    AdvanceTrigger trigger = AdvanceTrigger::AnyDcache;
-    SecondaryMissPolicy secondaryPolicy = SecondaryMissPolicy::Poison;
-    unsigned poisonBits = 8;        ///< poison-vector width (1 = single bit)
-    bool nonBlockingRally = true;   ///< false: single blocking pass
-    bool multithreadedRally = true; ///< false: tail stalls during rallies
-    unsigned sliceEntries = 128;
-    unsigned sliceSkipPerCycle = 8; ///< banked skip bandwidth (Section 3.4)
-    unsigned rallyWidth = 1;        ///< slice re-injection bandwidth
-    /**
-     * Simple-runahead exit hysteresis: resume full advance only once this
-     * many slice/store-buffer entries are free, so a rewind is not
-     * immediately followed by another fallback.
-     */
-    unsigned simpleRaHysteresis = 32;
-    /**
-     * Simple-runahead lookahead bound (dynamic instructions past the
-     * rewind point): deep non-committing advance only pollutes the
-     * caches once the MSHR-bounded prefetch window is exhausted.
-     */
-    unsigned simpleRaMaxDepth = 512;
-    unsigned signatureBits = 1024;
-    PoisonAddrPolicy poisonAddrPolicy = PoisonAddrPolicy::Stall;
-    ChainedSbParams storeBuffer{};  ///< 128 entries / 512-entry chain table
-
-    /** Synthetic external stores (cycle, addr) for MP-safety testing. */
-    std::vector<std::pair<Cycle, Addr>> externalStores{};
-};
 
 /** The iCFP core. */
 class ICfpCore : public CoreBase

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * iCFP configuration, split from icfp_core.hh so configuration consumers
+ * (sim/core_registry.hh's SimConfig, the sweep engine, the harnesses)
+ * can be compiled without pulling in the core model itself.
+ */
+
+#ifndef ICFP_ICFP_ICFP_PARAMS_HH
+#define ICFP_ICFP_ICFP_PARAMS_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/params.hh"
+#include "icfp/chained_store_buffer.hh"
+
+namespace icfp {
+
+/** What advance execution does when a store's address is poisoned. */
+enum class PoisonAddrPolicy : uint8_t {
+    Stall,         ///< stall the tail until the address resolves
+    SimpleRunahead,///< fall back to non-committing advance
+};
+
+/** iCFP configuration (Table 1 defaults; flags for Figures 6/7/8). */
+struct ICfpParams
+{
+    AdvanceTrigger trigger = AdvanceTrigger::AnyDcache;
+    SecondaryMissPolicy secondaryPolicy = SecondaryMissPolicy::Poison;
+    unsigned poisonBits = 8;        ///< poison-vector width (1 = single bit)
+    bool nonBlockingRally = true;   ///< false: single blocking pass
+    bool multithreadedRally = true; ///< false: tail stalls during rallies
+    unsigned sliceEntries = 128;
+    unsigned sliceSkipPerCycle = 8; ///< banked skip bandwidth (Section 3.4)
+    unsigned rallyWidth = 1;        ///< slice re-injection bandwidth
+    /**
+     * Simple-runahead exit hysteresis: resume full advance only once this
+     * many slice/store-buffer entries are free, so a rewind is not
+     * immediately followed by another fallback.
+     */
+    unsigned simpleRaHysteresis = 32;
+    /**
+     * Simple-runahead lookahead bound (dynamic instructions past the
+     * rewind point): deep non-committing advance only pollutes the
+     * caches once the MSHR-bounded prefetch window is exhausted.
+     */
+    unsigned simpleRaMaxDepth = 512;
+    unsigned signatureBits = 1024;
+    PoisonAddrPolicy poisonAddrPolicy = PoisonAddrPolicy::Stall;
+    ChainedSbParams storeBuffer{};  ///< 128 entries / 512-entry chain table
+
+    /** Synthetic external stores (cycle, addr) for MP-safety testing. */
+    std::vector<std::pair<Cycle, Addr>> externalStores{};
+};
+
+} // namespace icfp
+
+#endif // ICFP_ICFP_ICFP_PARAMS_HH

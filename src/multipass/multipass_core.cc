@@ -1,6 +1,7 @@
 #include "multipass/multipass_core.hh"
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -438,4 +439,17 @@ MultipassCore::run(const Trace &trace)
     return result_;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerMultipass(
+    CoreKind::Multipass, "multipass", {"mp"},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<MultipassCore>(cfg.core, cfg.mem, cfg.multipass);
+    });
+
+} // namespace
 } // namespace icfp

@@ -29,18 +29,10 @@
 #include <deque>
 
 #include "core/core_base.hh"
+#include "multipass/multipass_params.hh"
 #include "runahead/runahead_cache.hh"
 
 namespace icfp {
-
-/** Multipass configuration. */
-struct MultipassParams
-{
-    /** Figure 5: L2 misses and primary data cache misses. */
-    AdvanceTrigger trigger = AdvanceTrigger::AnyDcache;
-    unsigned instBufferEntries = 128;    ///< Table 1
-    unsigned forwardCacheEntries = 256;  ///< Table 1 ("runahead cache")
-};
 
 /** The Multipass core model. */
 class MultipassCore : public CoreBase

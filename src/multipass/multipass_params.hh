@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Multipass configuration, split from multipass_core.hh so configuration
+ * consumers (sim/core_registry.hh's SimConfig, the sweep engine, the
+ * harnesses) can be compiled without pulling in the core model itself.
+ */
+
+#ifndef ICFP_MULTIPASS_MULTIPASS_PARAMS_HH
+#define ICFP_MULTIPASS_MULTIPASS_PARAMS_HH
+
+#include "core/params.hh"
+
+namespace icfp {
+
+/** Multipass configuration. */
+struct MultipassParams
+{
+    /** Figure 5: L2 misses and primary data cache misses. */
+    AdvanceTrigger trigger = AdvanceTrigger::AnyDcache;
+    unsigned instBufferEntries = 128;    ///< Table 1
+    unsigned forwardCacheEntries = 256;  ///< Table 1 ("runahead cache")
+};
+
+} // namespace icfp
+
+#endif // ICFP_MULTIPASS_MULTIPASS_PARAMS_HH

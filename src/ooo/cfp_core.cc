@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -387,4 +388,17 @@ CfpCore::run(const Trace &trace)
     return result;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerCfp(
+    CoreKind::Cfp, "cfp", {},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<CfpCore>(cfg.core, cfg.mem, cfg.cfp);
+    });
+
+} // namespace
 } // namespace icfp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -239,4 +240,17 @@ OooCore::run(const Trace &trace)
     return result;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerOoo(
+    CoreKind::Ooo, "ooo", {"out-of-order"},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<OooCore>(cfg.core, cfg.mem, cfg.ooo);
+    });
+
+} // namespace
 } // namespace icfp

@@ -1,6 +1,7 @@
 #include "runahead/runahead_core.hh"
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -273,4 +274,17 @@ RunaheadCore::run(const Trace &trace)
     return result_;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerRunahead(
+    CoreKind::Runahead, "runahead", {"ra"},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<RunaheadCore>(cfg.core, cfg.mem, cfg.runahead);
+    });
+
+} // namespace
 } // namespace icfp

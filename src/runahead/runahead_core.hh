@@ -22,18 +22,9 @@
 
 #include "core/core_base.hh"
 #include "runahead/runahead_cache.hh"
+#include "runahead/runahead_params.hh"
 
 namespace icfp {
-
-/** Runahead configuration. */
-struct RunaheadParams
-{
-    /** Paper default (Figure 5): enter runahead on L2 misses only. */
-    AdvanceTrigger trigger = AdvanceTrigger::L2Only;
-    /** Paper default: block on (secondary) data cache misses ("D$-b"). */
-    SecondaryMissPolicy secondaryPolicy = SecondaryMissPolicy::Block;
-    unsigned runaheadCacheEntries = 256; ///< Table 1
-};
 
 /** The Runahead core model. */
 class RunaheadCore : public CoreBase

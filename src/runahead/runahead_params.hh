@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Runahead configuration, split from runahead_core.hh so configuration
+ * consumers (sim/core_registry.hh's SimConfig, the sweep engine, the
+ * harnesses) can be compiled without pulling in the core model itself.
+ */
+
+#ifndef ICFP_RUNAHEAD_RUNAHEAD_PARAMS_HH
+#define ICFP_RUNAHEAD_RUNAHEAD_PARAMS_HH
+
+#include "core/params.hh"
+
+namespace icfp {
+
+/** Runahead configuration. */
+struct RunaheadParams
+{
+    /** Paper default (Figure 5): enter runahead on L2 misses only. */
+    AdvanceTrigger trigger = AdvanceTrigger::L2Only;
+    /** Paper default: block on (secondary) data cache misses ("D$-b"). */
+    SecondaryMissPolicy secondaryPolicy = SecondaryMissPolicy::Block;
+    unsigned runaheadCacheEntries = 256; ///< Table 1
+};
+
+} // namespace icfp
+
+#endif // ICFP_RUNAHEAD_RUNAHEAD_PARAMS_HH

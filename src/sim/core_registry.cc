@@ -1,0 +1,105 @@
+#include "sim/core_registry.hh"
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+const std::array<CoreKind, kNumCoreKinds> &
+allCoreKinds()
+{
+    static const std::array<CoreKind, kNumCoreKinds> kinds = {
+        CoreKind::InOrder, CoreKind::Runahead, CoreKind::Multipass,
+        CoreKind::Sltp,    CoreKind::ICfp,     CoreKind::Ooo,
+        CoreKind::Cfp,
+    };
+    return kinds;
+}
+
+CoreRegistry &
+CoreRegistry::instance()
+{
+    static CoreRegistry registry;
+    return registry;
+}
+
+void
+CoreRegistry::add(CoreKind kind, std::string name,
+                  std::vector<std::string> aliases, CoreFactory factory)
+{
+    Slot &slot = slots_[static_cast<size_t>(kind)];
+    ICFP_ASSERT(!slot.factory && "core kind registered twice");
+    slot.name = std::move(name);
+    slot.aliases = std::move(aliases);
+    slot.factory = std::move(factory);
+}
+
+std::unique_ptr<CoreModel>
+CoreRegistry::create(CoreKind kind, const SimConfig &config) const
+{
+    const Slot &slot = slots_[static_cast<size_t>(kind)];
+    if (!slot.factory)
+        ICFP_PANIC("core kind %u not registered",
+                   static_cast<unsigned>(kind));
+    return slot.factory(config);
+}
+
+const char *
+CoreRegistry::name(CoreKind kind) const
+{
+    const Slot &slot = slots_[static_cast<size_t>(kind)];
+    return slot.factory ? slot.name.c_str() : "?";
+}
+
+std::optional<CoreKind>
+CoreRegistry::parse(const std::string &name) const
+{
+    for (const CoreKind kind : allCoreKinds()) {
+        const Slot &slot = slots_[static_cast<size_t>(kind)];
+        if (!slot.factory)
+            continue;
+        if (slot.name == name)
+            return kind;
+        for (const std::string &alias : slot.aliases)
+            if (alias == name)
+                return kind;
+    }
+    return std::nullopt;
+}
+
+bool
+CoreRegistry::registered(CoreKind kind) const
+{
+    return static_cast<bool>(slots_[static_cast<size_t>(kind)].factory);
+}
+
+std::vector<CoreKind>
+CoreRegistry::kinds() const
+{
+    std::vector<CoreKind> out;
+    for (const CoreKind kind : allCoreKinds())
+        if (registered(kind))
+            out.push_back(kind);
+    return out;
+}
+
+CoreRegistrar::CoreRegistrar(CoreKind kind, std::string name,
+                             std::vector<std::string> aliases,
+                             CoreFactory factory)
+{
+    CoreRegistry::instance().add(kind, std::move(name), std::move(aliases),
+                                 std::move(factory));
+}
+
+const char *
+coreKindName(CoreKind kind)
+{
+    return CoreRegistry::instance().name(kind);
+}
+
+std::optional<CoreKind>
+parseCoreKind(const std::string &name)
+{
+    return CoreRegistry::instance().parse(name);
+}
+
+} // namespace icfp

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The core-model registry: the abstract CoreModel run interface, the
+ * full machine configuration (SimConfig), and a self-registration
+ * mechanism that lets each core subdirectory plug its model into the
+ * driver without the driver naming it.
+ *
+ * Each scheme's .cc file places one file-scope CoreRegistrar that binds
+ * a CoreKind to a display name, parse aliases, and a factory closing
+ * over the scheme's params slice of SimConfig:
+ *
+ * @code
+ *   namespace {
+ *   const CoreRegistrar registerRunahead(
+ *       CoreKind::Runahead, "runahead", {"ra"},
+ *       [](const SimConfig &cfg) {
+ *           return makeCoreModel<RunaheadCore>(cfg.core, cfg.mem,
+ *                                              cfg.runahead);
+ *       });
+ *   } // namespace
+ * @endcode
+ *
+ * simulate() (sim/simulator.hh) and the sweep engine (sim/sweep.hh) only
+ * ever dispatch through the registry, so this header deliberately pulls
+ * in nothing but the per-scheme *params* headers — adding a core model
+ * recompiles neither the driver nor any other model.
+ *
+ * NOTE for static linking: registration runs from static initializers,
+ * so the scheme object files must actually be linked in. The build keeps
+ * the library as a CMake OBJECT library for exactly this reason.
+ */
+
+#ifndef ICFP_SIM_CORE_REGISTRY_HH
+#define ICFP_SIM_CORE_REGISTRY_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+#include "icfp/icfp_params.hh"
+#include "multipass/multipass_params.hh"
+#include "ooo/ooo_params.hh"
+#include "runahead/runahead_params.hh"
+#include "sltp/sltp_params.hh"
+
+namespace icfp {
+
+struct Trace; // isa/interpreter.hh; models replay one, we only pass it
+
+/**
+ * The core models the paper compares: the five of Figure 5 plus the two
+ * out-of-order reference points of Section 5.3.
+ */
+enum class CoreKind : uint8_t {
+    InOrder,
+    Runahead,
+    Multipass,
+    Sltp,
+    ICfp,
+    Ooo,
+    Cfp,
+};
+
+/** Number of CoreKind values (registry slot count). */
+constexpr size_t kNumCoreKinds = 7;
+
+/** All core kinds, in enum (= paper presentation) order. */
+const std::array<CoreKind, kNumCoreKinds> &allCoreKinds();
+
+/** One fully specified machine configuration. */
+struct SimConfig
+{
+    CoreParams core{};
+    MemParams mem{};
+    RunaheadParams runahead{};
+    MultipassParams multipass{};
+    SltpParams sltp{};
+    ICfpParams icfp{};
+    OooParams ooo{};
+    CfpParams cfp{};
+};
+
+/** Abstract run interface every registered core model exposes. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /** Replay @p trace to completion and return the statistics. */
+    virtual RunResult run(const Trace &trace) = 0;
+};
+
+/** Owning adapter wrapping a concrete core as a CoreModel. */
+template <typename CoreT>
+class CoreModelAdapter final : public CoreModel
+{
+  public:
+    template <typename... Args>
+    explicit CoreModelAdapter(Args &&...args)
+        : core_(std::forward<Args>(args)...)
+    {
+    }
+
+    RunResult run(const Trace &trace) override { return core_.run(trace); }
+
+  private:
+    CoreT core_;
+};
+
+/** Construct a concrete core behind the CoreModel interface. */
+template <typename CoreT, typename... Args>
+std::unique_ptr<CoreModel>
+makeCoreModel(Args &&...args)
+{
+    return std::make_unique<CoreModelAdapter<CoreT>>(
+        std::forward<Args>(args)...);
+}
+
+/** Builds one configured model instance from a SimConfig. */
+using CoreFactory =
+    std::function<std::unique_ptr<CoreModel>(const SimConfig &)>;
+
+/**
+ * Process-wide table of core models, filled at static-init time by the
+ * CoreRegistrar objects in each scheme's translation unit.
+ */
+class CoreRegistry
+{
+  public:
+    static CoreRegistry &instance();
+
+    /** Register @p kind; fatal on double registration. */
+    void add(CoreKind kind, std::string name,
+             std::vector<std::string> aliases, CoreFactory factory);
+
+    /** Instantiate a configured model; fatal if @p kind is unregistered. */
+    std::unique_ptr<CoreModel> create(CoreKind kind,
+                                      const SimConfig &config) const;
+
+    /** Display name; "?" if unregistered. */
+    const char *name(CoreKind kind) const;
+
+    /** Resolve a display name or alias; nullopt if unknown. */
+    std::optional<CoreKind> parse(const std::string &name) const;
+
+    bool registered(CoreKind kind) const;
+
+    /** Registered kinds in enum order. */
+    std::vector<CoreKind> kinds() const;
+
+  private:
+    CoreRegistry() = default;
+
+    struct Slot
+    {
+        std::string name;
+        std::vector<std::string> aliases;
+        CoreFactory factory;
+    };
+
+    std::array<Slot, kNumCoreKinds> slots_{};
+};
+
+/** File-scope self-registration hook for one core model. */
+struct CoreRegistrar
+{
+    CoreRegistrar(CoreKind kind, std::string name,
+                  std::vector<std::string> aliases, CoreFactory factory);
+};
+
+/** Display name of a core kind (registry lookup). */
+const char *coreKindName(CoreKind kind);
+
+/** Parse a core name or alias (registry lookup); nullopt if unknown. */
+std::optional<CoreKind> parseCoreKind(const std::string &name);
+
+} // namespace icfp
+
+#endif // ICFP_SIM_CORE_REGISTRY_HH

@@ -1,7 +1,12 @@
 /**
  * @file
- * Plain-text table formatting for the benchmark harnesses: fixed-width
- * columns in the style of the paper's tables/figure data.
+ * Report emission for the benchmark harnesses: fixed-width plain-text
+ * tables in the style of the paper's tables/figure data, plus machine-
+ * readable CSV/JSON serialization of sweep results (sim/sweep.hh).
+ *
+ * All serialization here is deterministic — fixed float precision, no
+ * locale dependence, rows in input order — so a sweep emitted with any
+ * worker-thread count is byte-identical (the `icfp-sim sweep` contract).
  */
 
 #ifndef ICFP_SIM_REPORT_HH
@@ -11,6 +16,8 @@
 #include <vector>
 
 namespace icfp {
+
+struct SweepResult; // sim/sweep.hh; only named in declarations here
 
 /** A simple left-labeled, right-aligned-numeric table printer. */
 class Table
@@ -35,6 +42,12 @@ class Table
     /** Render to a string (for tests). */
     std::string str() const;
 
+    /**
+     * Render as CSV: a header row from the column names, then one line
+     * per data row (notes are skipped). Cells are already formatted.
+     */
+    std::string csv() const;
+
   private:
     std::string title_;
     std::vector<std::string> columns_;
@@ -46,6 +59,21 @@ class Table
     };
     std::vector<Row> rows_;
 };
+
+/** Column names of the sweep CSV/JSON schema, in emission order. */
+const std::vector<std::string> &sweepReportColumns();
+
+/**
+ * Serialize sweep results as CSV (header + one row per result, input
+ * order). Byte-deterministic for identical results.
+ */
+std::string sweepCsv(const std::vector<SweepResult> &results);
+
+/**
+ * Serialize sweep results as a JSON array of flat objects using the
+ * same schema as sweepCsv(). Byte-deterministic for identical results.
+ */
+std::string sweepJson(const std::vector<SweepResult> &results);
 
 } // namespace icfp
 

@@ -3,24 +3,8 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
-#include "core/inorder_core.hh"
 
 namespace icfp {
-
-const char *
-coreKindName(CoreKind kind)
-{
-    switch (kind) {
-      case CoreKind::InOrder: return "in-order";
-      case CoreKind::Runahead: return "runahead";
-      case CoreKind::Multipass: return "multipass";
-      case CoreKind::Sltp: return "sltp";
-      case CoreKind::ICfp: return "icfp";
-      case CoreKind::Ooo: return "ooo";
-      case CoreKind::Cfp: return "cfp";
-    }
-    return "?";
-}
 
 Trace
 makeBenchTrace(const BenchmarkSpec &spec, uint64_t insts)
@@ -32,37 +16,7 @@ makeBenchTrace(const BenchmarkSpec &spec, uint64_t insts)
 RunResult
 simulate(CoreKind kind, const SimConfig &config, const Trace &trace)
 {
-    switch (kind) {
-      case CoreKind::InOrder: {
-        InOrderCore core(config.core, config.mem);
-        return core.run(trace);
-      }
-      case CoreKind::Runahead: {
-        RunaheadCore core(config.core, config.mem, config.runahead);
-        return core.run(trace);
-      }
-      case CoreKind::Multipass: {
-        MultipassCore core(config.core, config.mem, config.multipass);
-        return core.run(trace);
-      }
-      case CoreKind::Sltp: {
-        SltpCore core(config.core, config.mem, config.sltp);
-        return core.run(trace);
-      }
-      case CoreKind::ICfp: {
-        ICfpCore core(config.core, config.mem, config.icfp);
-        return core.run(trace);
-      }
-      case CoreKind::Ooo: {
-        OooCore core(config.core, config.mem, config.ooo);
-        return core.run(trace);
-      }
-      case CoreKind::Cfp: {
-        CfpCore core(config.core, config.mem, config.cfp);
-        return core.run(trace);
-      }
-    }
-    ICFP_PANIC("bad core kind");
+    return CoreRegistry::instance().create(kind, config)->run(trace);
 }
 
 double

@@ -1,7 +1,7 @@
 /**
  * @file
- * Top-level simulation driver: builds workloads, runs any of the five
- * core models over the same golden trace, and bundles the scheme-specific
+ * Top-level simulation driver: builds workloads, runs any registered
+ * core model over the same golden trace, and bundles the scheme-specific
  * configurations the experiments sweep.
  *
  * This is the primary entry point of the library for examples and
@@ -14,6 +14,12 @@
  *   RunResult icfp = simulate(CoreKind::ICfp, cfg, trace);
  *   double speedup = percentSpeedup(base, icfp);
  * @endcode
+ *
+ * simulate() is a thin shim over the core-model registry
+ * (sim/core_registry.hh): models self-register from their own
+ * translation units, so this header includes no scheme-specific core
+ * header and adding a model touches no driver code. Batch (grid)
+ * execution lives in sim/sweep.hh.
  */
 
 #ifndef ICFP_SIM_SIMULATOR_HH
@@ -22,51 +28,17 @@
 #include <string>
 
 #include "core/params.hh"
-#include "icfp/icfp_core.hh"
-#include "multipass/multipass_core.hh"
-#include "ooo/cfp_core.hh"
-#include "ooo/ooo_core.hh"
-#include "runahead/runahead_core.hh"
-#include "sltp/sltp_core.hh"
+#include "isa/interpreter.hh"
+#include "sim/core_registry.hh"
 #include "workloads/spec_analogs.hh"
 
 namespace icfp {
-
-/**
- * The core models the paper compares: the five of Figure 5 plus the two
- * out-of-order reference points of Section 5.3.
- */
-enum class CoreKind : uint8_t {
-    InOrder,
-    Runahead,
-    Multipass,
-    Sltp,
-    ICfp,
-    Ooo,
-    Cfp,
-};
-
-/** Display name of a core kind. */
-const char *coreKindName(CoreKind kind);
-
-/** One fully specified machine configuration. */
-struct SimConfig
-{
-    CoreParams core{};
-    MemParams mem{};
-    RunaheadParams runahead{};
-    MultipassParams multipass{};
-    SltpParams sltp{};
-    ICfpParams icfp{};
-    OooParams ooo{};
-    CfpParams cfp{};
-};
 
 /** Build and functionally execute a benchmark analog. */
 Trace makeBenchTrace(const BenchmarkSpec &spec,
                      uint64_t insts = kDefaultBenchInsts);
 
-/** Run one core model over @p trace. */
+/** Run one core model over @p trace (registry dispatch). */
 RunResult simulate(CoreKind kind, const SimConfig &config,
                    const Trace &trace);
 

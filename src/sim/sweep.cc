@@ -1,0 +1,191 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace icfp {
+
+std::vector<SweepJob>
+expandGrid(const SweepSpec &spec)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(spec.benches.size() * spec.variants.size());
+    for (const std::string &bench : spec.benches) {
+        for (const SweepVariant &variant : spec.variants) {
+            SweepJob job;
+            job.bench = bench;
+            job.variant = variant.label;
+            job.core = variant.core;
+            job.config = variant.config;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<std::string>
+uniqueFirstUse(const std::vector<std::string> &names)
+{
+    std::vector<std::string> unique;
+    for (const std::string &name : names)
+        if (std::find(unique.begin(), unique.end(), name) == unique.end())
+            unique.push_back(name);
+    return unique;
+}
+
+void
+parallelFor(size_t n, unsigned jobs, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    const size_t thread_count = std::min<size_t>(jobs, n);
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (size_t t = 0; t < thread_count; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+unsigned
+defaultSweepJobs()
+{
+    if (const char *env = std::getenv("ICFP_SWEEP_JOBS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        return 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepEngine::SweepEngine(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultSweepJobs())
+{
+}
+
+const Trace &
+SweepEngine::traceLocked(const TraceKey &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = traces_.find(key);
+        if (it != traces_.end())
+            return *it->second;
+    }
+
+    // Generate outside the lock; on a key race the first insert wins and
+    // the duplicate is dropped (generation is deterministic, so both are
+    // identical anyway).
+    BenchmarkSpec spec = findBenchmark(std::get<0>(key));
+    if (std::get<2>(key))
+        spec.workload.seed = std::get<3>(key);
+    auto trace = std::make_unique<Trace>(
+        makeBenchTrace(spec, std::get<1>(key)));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = traces_.emplace(key, std::move(trace));
+    (void)inserted;
+    return *it->second;
+}
+
+const Trace &
+SweepEngine::trace(const std::string &bench, uint64_t insts,
+                   std::optional<uint64_t> seed)
+{
+    return traceLocked(
+        TraceKey{bench, insts, seed.has_value(), seed.value_or(0)});
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const SweepSpec &spec)
+{
+    return run(expandGrid(spec), spec.insts, spec.seed);
+}
+
+std::vector<SweepResult>
+SweepEngine::runOnTrace(const Trace &trace,
+                        const std::vector<SweepVariant> &variants,
+                        const std::string &bench_label)
+{
+    std::vector<SweepResult> results(variants.size());
+    parallelFor(variants.size(), jobs_, [&](size_t i) {
+        const SweepVariant &variant = variants[i];
+        SweepResult &out = results[i];
+        out.bench = bench_label;
+        out.variant = variant.label;
+        out.core = variant.core;
+        out.result = simulate(variant.core, variant.config, trace);
+    });
+    return results;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
+                 std::optional<uint64_t> seed)
+{
+    // Validate every bench name on the calling thread first:
+    // findBenchmark is fatal on an unknown name, and exit(1) must not
+    // fire from a worker while sibling threads are mid-generation.
+    std::vector<std::string> bench_names;
+    bench_names.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        bench_names.push_back(job.bench);
+    const std::vector<std::string> benches = uniqueFirstUse(bench_names);
+    for (const std::string &bench : benches)
+        findBenchmark(bench);
+
+    // Phase 1: generate each distinct golden trace exactly once, in
+    // parallel across benches.
+    parallelFor(benches.size(), jobs_, [&](size_t i) {
+        trace(benches[i], insts, seed);
+    });
+
+    // Phase 2: the grid. Every job only reads its (shared) trace and
+    // writes its own preallocated slot, so completion order is free to
+    // vary while result order stays fixed.
+    std::vector<SweepResult> results(jobs.size());
+    parallelFor(jobs.size(), jobs_, [&](size_t i) {
+        const SweepJob &job = jobs[i];
+        SweepResult &out = results[i];
+        out.bench = job.bench;
+        out.variant = job.variant;
+        out.core = job.core;
+        out.result = simulate(job.core, job.config,
+                              trace(job.bench, insts, seed));
+    });
+    return results;
+}
+
+} // namespace icfp

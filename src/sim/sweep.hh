@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The parallel sweep engine: expands a (benchmark × core × config-
+ * variant) grid, generates each golden trace exactly once (shared across
+ * every model that replays it), executes the independent jobs on a
+ * std::thread pool, and returns results in deterministic grid order
+ * regardless of thread count.
+ *
+ * Determinism contract: each simulate() call is a pure function of
+ * (CoreKind, SimConfig, Trace), trace generation is a pure function of
+ * (workload params, instruction budget), and results land in a slot
+ * preallocated from the grid index — so a sweep's result vector (and any
+ * CSV/JSON serialization of it, see sim/report.hh) is byte-identical for
+ * `jobs == 1` and `jobs == N`. The per-figure harnesses and the
+ * `icfp-sim sweep` subcommand all ride on this.
+ *
+ * @code
+ *   SweepSpec spec;
+ *   spec.benches = {"mcf", "equake"};
+ *   spec.variants = {{"base", CoreKind::InOrder, SimConfig{}},
+ *                    {"icfp", CoreKind::ICfp, SimConfig{}}};
+ *   SweepEngine engine(8);                 // 8 worker threads
+ *   std::vector<SweepResult> rs = engine.run(spec);
+ *   // rs[b * spec.variants.size() + v] is bench b under variant v.
+ * @endcode
+ */
+
+#ifndef ICFP_SIM_SWEEP_HH
+#define ICFP_SIM_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace icfp {
+
+/** One configuration series of a sweep (a column of the paper figures). */
+struct SweepVariant
+{
+    std::string label; ///< series name, e.g. "iCFP-all" or "l2=30/ra"
+    CoreKind core = CoreKind::InOrder;
+    SimConfig config{};
+};
+
+/** A full sweep request: the grid is benches × variants. */
+struct SweepSpec
+{
+    std::vector<std::string> benches;  ///< benchmark analog names
+    std::vector<SweepVariant> variants;
+    uint64_t insts = kDefaultBenchInsts; ///< trace budget per benchmark
+    std::optional<uint64_t> seed;        ///< workload RNG seed override
+};
+
+/** One expanded grid cell. */
+struct SweepJob
+{
+    std::string bench;
+    std::string variant; ///< the SweepVariant label
+    CoreKind core = CoreKind::InOrder;
+    SimConfig config{};
+};
+
+/** One finished cell: the job echoed back plus its statistics. */
+struct SweepResult
+{
+    std::string bench;
+    std::string variant;
+    CoreKind core = CoreKind::InOrder;
+    RunResult result{};
+};
+
+/**
+ * Expand @p spec into jobs in deterministic grid order: bench-major,
+ * variant-minor (`jobs[b * variants.size() + v]`).
+ */
+std::vector<SweepJob> expandGrid(const SweepSpec &spec);
+
+/** De-duplicate @p names preserving first-use order. */
+std::vector<std::string> uniqueFirstUse(const std::vector<std::string> &names);
+
+/**
+ * Run fn(0..n-1) on up to @p jobs threads (jobs <= 1 runs inline).
+ * Iterations are claimed from an atomic counter, so the assignment of
+ * iterations to threads is racy — callers must write results only into
+ * per-iteration slots. The first exception thrown by any iteration is
+ * rethrown in the calling thread after all workers join.
+ */
+void parallelFor(size_t n, unsigned jobs,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Worker-thread count for harnesses: ICFP_SWEEP_JOBS if set (0 = one),
+ * else std::thread::hardware_concurrency().
+ */
+unsigned defaultSweepJobs();
+
+/** The batch runner. Reusable: traces are cached across run() calls. */
+class SweepEngine
+{
+  public:
+    /** @param jobs worker threads; 0 = hardware concurrency */
+    explicit SweepEngine(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Expand @p spec and run the whole grid; results in grid order. */
+    std::vector<SweepResult> run(const SweepSpec &spec);
+
+    /**
+     * Run pre-expanded jobs; results in input order. Traces for distinct
+     * benches are generated in parallel, each exactly once, then shared
+     * (read-only) by every job that replays that bench.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 uint64_t insts,
+                                 std::optional<uint64_t> seed = std::nullopt);
+
+    /**
+     * Run every variant over one explicit (e.g. file-loaded) trace,
+     * bypassing the bench-name trace cache; results in variant order,
+     * labeled with @p bench_label.
+     */
+    std::vector<SweepResult> runOnTrace(const Trace &trace,
+                                        const std::vector<SweepVariant> &variants,
+                                        const std::string &bench_label);
+
+    /**
+     * The cached golden trace for @p bench (generating it on first use).
+     * The reference stays valid for the engine's lifetime.
+     */
+    const Trace &trace(const std::string &bench, uint64_t insts,
+                       std::optional<uint64_t> seed = std::nullopt);
+
+  private:
+    /** (bench, insts, has-seed-override, seed value). The explicit
+     *  has-seed flag keeps every seed value usable (no sentinel). */
+    using TraceKey = std::tuple<std::string, uint64_t, bool, uint64_t>;
+
+    /** Generate-once trace lookup; thread-safe. */
+    const Trace &traceLocked(const TraceKey &key);
+
+    unsigned jobs_;
+    std::mutex mutex_; ///< guards traces_ (map insertions only)
+    std::map<TraceKey, std::unique_ptr<Trace>> traces_;
+};
+
+} // namespace icfp
+
+#endif // ICFP_SIM_SWEEP_HH

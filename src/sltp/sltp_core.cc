@@ -1,6 +1,7 @@
 #include "sltp/sltp_core.hh"
 
 #include "common/logging.hh"
+#include "sim/core_registry.hh"
 
 namespace icfp {
 
@@ -519,4 +520,17 @@ SltpCore::run(const Trace &trace)
     return result_;
 }
 
+} // namespace icfp
+
+namespace icfp {
+namespace {
+
+/** Self-registration with the core-model registry (sim/core_registry.hh). */
+const CoreRegistrar registerSltp(
+    CoreKind::Sltp, "sltp", {},
+    [](const SimConfig &cfg) {
+        return makeCoreModel<SltpCore>(cfg.core, cfg.mem, cfg.sltp);
+    });
+
+} // namespace
 } // namespace icfp

@@ -34,16 +34,9 @@
 #include "core/register_file.hh"
 #include "icfp/poison.hh"
 #include "icfp/slice_buffer.hh"
+#include "sltp/sltp_params.hh"
 
 namespace icfp {
-
-/** SLTP configuration (Table 1). */
-struct SltpParams
-{
-    AdvanceTrigger trigger = AdvanceTrigger::L2Only; ///< Figure 5 setting
-    unsigned srlEntries = 128;
-    unsigned sliceEntries = 128;
-};
 
 /** The SLTP core model. */
 class SltpCore : public CoreBase

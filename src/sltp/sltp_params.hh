@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SLTP configuration, split from sltp_core.hh so configuration consumers
+ * (sim/core_registry.hh's SimConfig, the sweep engine, the harnesses)
+ * can be compiled without pulling in the core model itself.
+ */
+
+#ifndef ICFP_SLTP_SLTP_PARAMS_HH
+#define ICFP_SLTP_SLTP_PARAMS_HH
+
+#include "core/params.hh"
+
+namespace icfp {
+
+/** SLTP configuration (Table 1). */
+struct SltpParams
+{
+    AdvanceTrigger trigger = AdvanceTrigger::L2Only; ///< Figure 5 setting
+    unsigned srlEntries = 128;
+    unsigned sliceEntries = 128;
+};
+
+} // namespace icfp
+
+#endif // ICFP_SLTP_SLTP_PARAMS_HH

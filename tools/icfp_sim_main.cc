@@ -4,9 +4,11 @@
  *
  * Subcommands:
  *   list                         show the benchmark analog suite
+ *   cores                        show the registered core models
  *   run     --bench B --core C   run one model, print full statistics
  *   compare --bench B            run every model on one benchmark
  *   suite   --core C             run one model over the whole suite
+ *   sweep   [--benches ...] [--cores ...]  run a (bench × core) grid
  *   trace   --bench B --save-trace F   generate + save a golden trace
  *   disasm  --bench B [--n N]    print the first N dynamic instructions
  *
@@ -22,6 +24,14 @@
  *   --load-trace F   replay a saved trace instead of generating one
  *   --save-trace F   also save the generated trace
  *
+ * Sweep options (compare/suite/sweep run on the parallel sweep engine):
+ *   --jobs N         worker threads (default: hardware concurrency).
+ *                    Reports are byte-identical for any N.
+ *   --benches A,B,C  benchmark subset for sweep (default: all)
+ *   --cores X,Y      core-model subset for sweep (default: all)
+ *   --format F       sweep output: table | csv | json (default table)
+ *   --out FILE       write the sweep report to FILE instead of stdout
+ *
  * Exit status: 0 on success, 1 on usage errors.
  */
 
@@ -32,9 +42,11 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "isa/trace_io.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 namespace {
 
@@ -57,37 +69,24 @@ struct Options
     std::optional<std::string> loadTrace;
     std::optional<std::string> saveTrace;
     unsigned disasmCount = 32;
+
+    // Sweep-engine options.
+    unsigned jobs = 0; ///< 0 = defaultSweepJobs()
+    std::string benches = "all";
+    std::string cores = "all";
+    std::string format = "table";
+    std::optional<std::string> out;
 };
 
 void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: icfp-sim <list|run|compare|suite|trace|disasm> "
+                 "usage: icfp-sim "
+                 "<list|cores|run|compare|suite|sweep|trace|disasm> "
                  "[options]\n"
-                 "run 'icfp-sim help' or see the file comment in "
-                 "tools/icfp_sim_main.cc for the option list\n");
-}
-
-/** Parse a named core kind; nullopt if unknown. */
-std::optional<CoreKind>
-parseCore(const std::string &name)
-{
-    if (name == "inorder" || name == "in-order")
-        return CoreKind::InOrder;
-    if (name == "runahead" || name == "ra")
-        return CoreKind::Runahead;
-    if (name == "multipass" || name == "mp")
-        return CoreKind::Multipass;
-    if (name == "sltp")
-        return CoreKind::Sltp;
-    if (name == "icfp")
-        return CoreKind::ICfp;
-    if (name == "ooo")
-        return CoreKind::Ooo;
-    if (name == "cfp")
-        return CoreKind::Cfp;
-    return std::nullopt;
+                 "see the file comment in tools/icfp_sim_main.cc for the "
+                 "option list\n");
 }
 
 bool
@@ -134,6 +133,19 @@ parseArgs(int argc, char **argv, Options *opt)
         } else if (arg == "--n") {
             opt->disasmCount =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--jobs") {
+            opt->jobs =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+            if (opt->jobs == 0)
+                opt->jobs = 1;
+        } else if (arg == "--benches") {
+            opt->benches = next();
+        } else if (arg == "--cores") {
+            opt->cores = next();
+        } else if (arg == "--format") {
+            opt->format = next();
+        } else if (arg == "--out") {
+            opt->out = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return false;
@@ -188,6 +200,114 @@ makeTrace(const Options &opt)
     return trace;
 }
 
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    size_t start = 0;
+    while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            items.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+/** Resolve --benches: "all" means the full suite. */
+std::vector<std::string>
+resolveBenches(const std::string &list)
+{
+    if (list == "all") {
+        std::vector<std::string> names;
+        for (const BenchmarkSpec &spec : spec2000Suite())
+            names.push_back(spec.name);
+        return names;
+    }
+    return splitList(list);
+}
+
+/** Resolve --cores: "all" means every registered model. */
+std::vector<CoreKind>
+resolveCores(const std::string &list)
+{
+    if (list == "all")
+        return CoreRegistry::instance().kinds();
+    std::vector<CoreKind> kinds;
+    for (const std::string &name : splitList(list)) {
+        const auto kind = parseCoreKind(name);
+        if (!kind)
+            ICFP_FATAL("unknown core '%s'", name.c_str());
+        kinds.push_back(*kind);
+    }
+    return kinds;
+}
+
+/** One variant per core kind, all sharing the option-derived config. */
+std::vector<SweepVariant>
+coreVariants(const std::vector<CoreKind> &kinds, const SimConfig &cfg)
+{
+    std::vector<SweepVariant> variants;
+    for (const CoreKind kind : kinds)
+        variants.push_back({coreKindName(kind), kind, cfg});
+    return variants;
+}
+
+/** The one list of sweep output formats (validation + dispatch). */
+bool
+validSweepFormat(const std::string &format)
+{
+    return format == "table" || format == "csv" || format == "json";
+}
+
+/** Emit a sweep report per --format/--out. @pre validSweepFormat() */
+int
+emitSweep(const Options &opt, const std::vector<SweepResult> &results)
+{
+    std::string text;
+    if (opt.format == "csv") {
+        text = sweepCsv(results);
+    } else if (opt.format == "json") {
+        text = sweepJson(results);
+    } else if (opt.format == "table") {
+        Table t("Sweep results (" + std::to_string(results.size()) +
+                " runs)");
+        t.setColumns({"bench/variant", "IPC", "D$ miss/KI", "L2 miss/KI",
+                      "D$ MLP", "L2 MLP", "rally/KI"});
+        for (const SweepResult &r : results) {
+            t.addRow(r.bench + "/" + r.variant,
+                     {r.result.ipc(),
+                      r.result.missPerKi(r.result.mem.dcacheMisses),
+                      r.result.missPerKi(r.result.mem.l2Misses),
+                      r.result.dcacheMlp, r.result.l2Mlp,
+                      r.result.rallyPerKi()},
+                     2);
+        }
+        text = t.str();
+    } else {
+        ICFP_PANIC("unvalidated format '%s'", opt.format.c_str());
+    }
+
+    if (opt.out) {
+        std::FILE *f = std::fopen(opt.out->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opt.out->c_str());
+            return 1;
+        }
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %zu runs to %s\n", results.size(),
+                    opt.out->c_str());
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+}
+
 void
 printResult(const RunResult &r)
 {
@@ -232,9 +352,18 @@ cmdList()
 }
 
 int
+cmdCores()
+{
+    std::printf("registered core models:\n");
+    for (const CoreKind kind : CoreRegistry::instance().kinds())
+        std::printf("  %s\n", coreKindName(kind));
+    return 0;
+}
+
+int
 cmdRun(const Options &opt)
 {
-    const auto kind = parseCore(opt.core);
+    const auto kind = parseCoreKind(opt.core);
     if (!kind) {
         std::fprintf(stderr, "unknown core '%s'\n", opt.core.c_str());
         return 1;
@@ -248,17 +377,34 @@ cmdRun(const Options &opt)
 int
 cmdCompare(const Options &opt)
 {
-    const Trace trace = makeTrace(opt);
     const SimConfig cfg = makeConfig(opt);
+    const std::vector<SweepVariant> variants =
+        coreVariants(CoreRegistry::instance().kinds(), cfg);
+
+    SweepEngine engine(opt.jobs);
+    std::vector<SweepResult> results;
+    if (opt.loadTrace) {
+        const Trace trace = makeTrace(opt);
+        results = engine.runOnTrace(trace, variants, opt.bench);
+    } else {
+        SweepSpec spec;
+        spec.benches = {opt.bench};
+        spec.variants = variants;
+        spec.insts = opt.insts;
+        spec.seed = opt.seed;
+        results = engine.run(spec);
+        if (opt.saveTrace)
+            saveTraceFile(*opt.saveTrace,
+                          engine.trace(opt.bench, opt.insts, opt.seed));
+    }
+
     Table t("All models on " + opt.bench);
     t.setColumns({"core", "IPC", "speedup %", "D$ MLP", "L2 MLP",
                   "rally/KI"});
-    const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
-    for (CoreKind kind :
-         {CoreKind::InOrder, CoreKind::Runahead, CoreKind::Multipass,
-          CoreKind::Sltp, CoreKind::ICfp, CoreKind::Ooo, CoreKind::Cfp}) {
-        const RunResult r = simulate(kind, cfg, trace);
-        t.addRow(coreKindName(kind),
+    const RunResult &base = results.front().result; // in-order is first
+    for (const SweepResult &sr : results) {
+        const RunResult &r = sr.result;
+        t.addRow(sr.variant,
                  {r.ipc(), percentSpeedup(base, r), r.dcacheMlp, r.l2Mlp,
                   r.rallyPerKi()},
                  2);
@@ -267,30 +413,87 @@ cmdCompare(const Options &opt)
     return 0;
 }
 
+/** Multi-bench commands generate per-bench traces; trace I/O options
+ *  would be silently meaningless, so reject them loudly. */
+bool
+rejectTraceIo(const Options &opt, const char *command)
+{
+    if (opt.loadTrace || opt.saveTrace) {
+        std::fprintf(stderr,
+                     "%s: --load-trace/--save-trace are not supported "
+                     "(runs one trace per benchmark); use 'run' or "
+                     "'compare'\n",
+                     command);
+        return true;
+    }
+    return false;
+}
+
 int
 cmdSuite(const Options &opt)
 {
-    const auto kind = parseCore(opt.core);
+    if (rejectTraceIo(opt, "suite"))
+        return 1;
+    const auto kind = parseCoreKind(opt.core);
     if (!kind) {
         std::fprintf(stderr, "unknown core '%s'\n", opt.core.c_str());
         return 1;
     }
-    const SimConfig cfg = makeConfig(opt);
+    SweepSpec spec;
+    spec.benches = resolveBenches("all");
+    spec.variants = {{opt.core, *kind, makeConfig(opt)}};
+    spec.insts = opt.insts;
+    spec.seed = opt.seed;
+
+    SweepEngine engine(opt.jobs);
+    const std::vector<SweepResult> results = engine.run(spec);
+
     Table t("Suite results: " + opt.core);
     t.setColumns({"bench", "IPC", "D$ miss/KI", "L2 miss/KI", "D$ MLP",
                   "L2 MLP"});
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        Options o = opt;
-        o.bench = spec.name;
-        const Trace trace = makeTrace(o);
-        const RunResult r = simulate(*kind, cfg, trace);
-        t.addRow(spec.name,
+    for (const SweepResult &sr : results) {
+        const RunResult &r = sr.result;
+        t.addRow(sr.bench,
                  {r.ipc(), r.missPerKi(r.mem.dcacheMisses),
                   r.missPerKi(r.mem.l2Misses), r.dcacheMlp, r.l2Mlp},
                  2);
     }
     t.print();
     return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    if (rejectTraceIo(opt, "sweep"))
+        return 1;
+    // Validate the output sink before burning grid time.
+    if (!validSweepFormat(opt.format)) {
+        std::fprintf(stderr, "unknown format '%s'\n", opt.format.c_str());
+        return 1;
+    }
+    SweepSpec spec;
+    spec.benches = resolveBenches(opt.benches);
+    // Validate names before touching the output file (findBenchmark is
+    // fatal on a typo, and must not cost the user an existing report).
+    for (const std::string &bench : spec.benches)
+        findBenchmark(bench);
+    spec.variants = coreVariants(resolveCores(opt.cores), makeConfig(opt));
+    spec.insts = opt.insts;
+    spec.seed = opt.seed;
+    if (opt.out) {
+        // Writability probe in append mode: never truncates existing
+        // results; emitSweep rewrites the file after the grid completes.
+        std::FILE *f = std::fopen(opt.out->c_str(), "a");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opt.out->c_str());
+            return 1;
+        }
+        std::fclose(f);
+    }
+
+    SweepEngine engine(opt.jobs);
+    return emitSweep(opt, engine.run(spec));
 }
 
 int
@@ -339,12 +542,16 @@ main(int argc, char **argv)
     }
     if (opt.command == "list")
         return cmdList();
+    if (opt.command == "cores")
+        return cmdCores();
     if (opt.command == "run")
         return cmdRun(opt);
     if (opt.command == "compare")
         return cmdCompare(opt);
     if (opt.command == "suite")
         return cmdSuite(opt);
+    if (opt.command == "sweep")
+        return cmdSweep(opt);
     if (opt.command == "trace")
         return cmdTrace(opt);
     if (opt.command == "disasm")
