@@ -5,129 +5,38 @@
  * width, the poisoned-address store policy (the paper offers both stall
  * and simple-runahead, Section 3.2), and the simple-runahead fallback
  * controls. Run on a dependent-miss-heavy subset where these knobs bind.
+ *
+ * Each study's grid runs on the sweep engine (sim/sweep.hh) with one
+ * shared engine, so all five studies replay the same five cached golden
+ * traces. ICFP_SWEEP_JOBS bounds the worker threads, ICFP_TRACE_DIR
+ * persists traces across runs, and ICFP_BENCH_CSV captures every
+ * study's raw grid (concatenated) as one sweep CSV artifact.
  */
 
-#include "bench_util.hh"
+#include <cstdio>
+
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
 
-namespace {
-
-const char *kBenches[] = {"mcf", "vpr", "twolf", "art", "equake"};
-
-template <typename Mutate>
-void
-sweep(TraceCache &traces, Table *table, const std::string &label,
-      Mutate &&mutate)
-{
-    std::vector<double> ratios;
-    std::vector<double> row;
-    for (const char *name : kBenches) {
-        const Trace &trace = traces.get(name);
-        SimConfig base_cfg;
-        const RunResult base = simulate(CoreKind::InOrder, base_cfg, trace);
-        SimConfig cfg;
-        mutate(&cfg);
-        const RunResult r = simulate(CoreKind::ICfp, cfg, trace);
-        row.push_back(percentSpeedup(base, r));
-        ratios.push_back(double(base.cycles) / double(r.cycles));
-    }
-    row.push_back(geomeanSpeedupPct(ratios));
-    table->addRow(label, row, 1);
-}
-
-} // namespace
-
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
+    const std::vector<AblationStudy> studies =
+        ablationStudies(benchInstBudget());
 
-    {
-        Table table("Ablation: slice buffer capacity (iCFP % speedup "
-                    "over in-order)");
-        table.setColumns({"slice entries", "mcf", "vpr", "twolf", "art",
-                          "equake", "geomean"});
-        for (const unsigned entries : {16u, 32u, 64u, 128u, 256u}) {
-            sweep(traces, &table, std::to_string(entries),
-                  [entries](SimConfig *cfg) {
-                      cfg->icfp.sliceEntries = entries;
-                  });
-        }
-        table.addNote("Expected: gains saturate near the Table 1 sizing "
-                      "(128); small buffers force simple-runahead.");
-        table.print();
-        std::puts("");
+    SweepEngine engine;
+    std::vector<SweepResult> all_results;
+    for (size_t i = 0; i < studies.size(); ++i) {
+        const std::vector<SweepResult> results =
+            engine.run(studies[i].spec);
+        ablationTable(studies[i], results).print();
+        if (i + 1 < studies.size())
+            std::puts("");
+        all_results.insert(all_results.end(), results.begin(),
+                           results.end());
     }
-
-    {
-        Table table("Ablation: rally skip bandwidth (slice banking)");
-        table.setColumns({"skips/cycle", "mcf", "vpr", "twolf", "art",
-                          "equake", "geomean"});
-        for (const unsigned skips : {1u, 2u, 4u, 8u, 16u}) {
-            sweep(traces, &table, std::to_string(skips),
-                  [skips](SimConfig *cfg) {
-                      cfg->icfp.sliceSkipPerCycle = skips;
-                  });
-        }
-        table.addNote("Expected: low skip bandwidth throttles multi-pass "
-                      "rallies over a sparse slice buffer (Section 3.4's "
-                      "banking argument).");
-        table.print();
-        std::puts("");
-    }
-
-    {
-        Table table("Ablation: rally width");
-        table.setColumns({"rally width", "mcf", "vpr", "twolf", "art",
-                          "equake", "geomean"});
-        for (const unsigned width : {1u, 2u}) {
-            sweep(traces, &table, std::to_string(width),
-                  [width](SimConfig *cfg) {
-                      cfg->icfp.rallyWidth = width;
-                  });
-        }
-        table.addNote("Expected: near-zero difference — slices are "
-                      "dependence chains with internal parallelism near "
-                      "one (Section 3.1's bandwidth argument).");
-        table.print();
-        std::puts("");
-    }
-
-    {
-        Table table("Ablation: poisoned-address store policy "
-                    "(Section 3.2 offers both)");
-        table.setColumns({"policy", "mcf", "vpr", "twolf", "art",
-                          "equake", "geomean"});
-        sweep(traces, &table, "stall", [](SimConfig *cfg) {
-            cfg->icfp.poisonAddrPolicy = PoisonAddrPolicy::Stall;
-        });
-        sweep(traces, &table, "simple-runahead", [](SimConfig *cfg) {
-            cfg->icfp.poisonAddrPolicy = PoisonAddrPolicy::SimpleRunahead;
-        });
-        table.addNote("Poison-address stores are rare (pointer-chasing "
-                      "stores), so the two policies should differ "
-                      "little.");
-        table.print();
-        std::puts("");
-    }
-
-    {
-        Table table("Ablation: simple-runahead lookahead bound");
-        table.setColumns({"max depth", "mcf", "vpr", "twolf", "art",
-                          "equake", "geomean"});
-        for (const unsigned depth : {64u, 256u, 512u, 2048u}) {
-            sweep(traces, &table, std::to_string(depth),
-                  [depth](SimConfig *cfg) {
-                      cfg->icfp.simpleRaMaxDepth = depth;
-                  });
-        }
-        table.addNote("Unbounded non-committing advance pollutes the "
-                      "caches; too little forfeits prefetching.");
-        table.print();
-    }
-
+    writeBenchCsv("ablation", all_results);
     return 0;
 }

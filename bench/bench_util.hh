@@ -5,46 +5,48 @@
  * Each harness binary regenerates one table or figure from the paper's
  * evaluation (Section 5), printing the same rows/series the paper
  * reports plus the paper's reference numbers where applicable. The
- * dynamic instruction budget per run honors ICFP_BENCH_INSTS.
+ * dynamic instruction budget per run honors ICFP_BENCH_INSTS, and
+ * ICFP_BENCH_CSV names a file to capture the raw sweep grid.
  */
 
 #ifndef ICFP_BENCH_BENCH_UTIL_HH
 #define ICFP_BENCH_BENCH_UTIL_HH
 
-#include <map>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 namespace icfp {
 namespace bench {
 
-/** Cached traces so multiple configs reuse one golden execution. */
+/**
+ * Cached traces so multiple configs reuse one golden execution. A thin
+ * veneer over SweepEngine's trace cache, which keys on the full
+ * (bench, insts, seed) tuple — a harness can never alias traces across
+ * budgets or seeds — and consults the persistent trace store
+ * (ICFP_TRACE_DIR, sim/trace_store.hh) before generating.
+ */
 class TraceCache
 {
   public:
     explicit TraceCache(uint64_t insts) : insts_(insts) {}
 
-    const Trace &
-    get(const std::string &name)
+    const Trace &get(const std::string &name)
     {
-        auto it = traces_.find(name);
-        if (it == traces_.end()) {
-            it = traces_
-                     .emplace(name,
-                              makeBenchTrace(findBenchmark(name), insts_))
-                     .first;
-        }
-        return it->second;
+        return engine_.trace(name, insts_);
     }
 
     uint64_t insts() const { return insts_; }
 
   private:
     uint64_t insts_;
-    std::map<std::string, Trace> traces_;
+    SweepEngine engine_{1};
 };
 
 /** Names of the full suite, fp first (paper order). */
@@ -62,6 +64,27 @@ inline double
 geomeanSpeedupPct(const std::vector<double> &ratios)
 {
     return 100.0 * (geomean(ratios) - 1.0);
+}
+
+/**
+ * Capture a harness's raw sweep grid as a CSV artifact (the figure
+ * tables are derived views; the CSV keeps every counter). Writes to
+ * $ICFP_BENCH_CSV if set, else does nothing.
+ */
+inline void
+writeBenchCsv(const char *harness, const std::vector<SweepResult> &results)
+{
+    const char *path = std::getenv("ICFP_BENCH_CSV");
+    if (!path || !*path)
+        return;
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "%s: cannot write %s\n", harness, path);
+        return;
+    }
+    os << sweepCsv(results);
+    std::fprintf(stderr, "%s: wrote %zu grid rows to %s\n", harness,
+                 results.size(), path);
 }
 
 } // namespace bench

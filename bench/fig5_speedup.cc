@@ -107,5 +107,6 @@ main()
     table.addNote("SPECfp 21/15/15/12; SPECint 12/7/7/5. Expected shape: "
                   "iCFP matches or beats all others.");
     table.print();
+    writeBenchCsv("fig5_speedup", results);
     return 0;
 }

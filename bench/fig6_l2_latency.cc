@@ -151,5 +151,6 @@ main()
                       "dominates across the sweep.");
         table.print();
     }
+    writeBenchCsv("fig6_l2_latency", results);
     return 0;
 }

@@ -11,108 +11,25 @@
  *
  * Reported for the benchmarks the paper plots plus SPECfp/SPECint
  * geomeans over them.
+ *
+ * Runs its (bench × bar) grid on the sweep engine (sim/sweep.hh):
+ * ICFP_SWEEP_JOBS bounds the worker threads, ICFP_TRACE_DIR persists
+ * golden traces across runs, and ICFP_BENCH_CSV captures the raw grid
+ * as a sweep CSV artifact.
  */
 
-#include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
 
-namespace {
-
-/** The benchmarks Figure 7 plots. */
-const char *kFpBenches[] = {"ammp", "applu", "art", "equake", "swim"};
-const char *kIntBenches[] = {"bzip2", "gap", "gzip", "mcf", "vpr"};
-
-ICfpParams
-barConfig(int bar)
-{
-    ICfpParams p;
-    p.trigger = AdvanceTrigger::AnyDcache;
-    p.secondaryPolicy = SecondaryMissPolicy::Poison;
-    switch (bar) {
-      case 2: // + chained store buffer, blocking single rallies
-        p.nonBlockingRally = false;
-        p.multithreadedRally = false;
-        p.poisonBits = 1;
-        break;
-      case 3: // + multiple non-blocking rallies
-        p.nonBlockingRally = true;
-        p.multithreadedRally = false;
-        p.poisonBits = 1;
-        break;
-      case 4: // + 8-bit poison vectors
-        p.nonBlockingRally = true;
-        p.multithreadedRally = false;
-        p.poisonBits = 8;
-        break;
-      case 5: // + multithreaded rallies = iCFP
-      default:
-        break;
-    }
-    return p;
-}
-
-} // namespace
-
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-
-    Table table("Figure 7: iCFP feature build, % speedup over in-order");
-    table.setColumns({"bench", "SLTP(SRL)", "+chainSB", "+nonblock",
-                      "+poisonvec", "+MT(iCFP)"});
-
-    std::vector<std::vector<double>> fp_ratios(5), int_ratios(5);
-
-    auto run_bench = [&](const char *name, bool is_fp) {
-        const Trace &trace = traces.get(name);
-        SimConfig cfg;
-        // Bar 1: SLTP itself, but advancing under any miss like iCFP.
-        cfg.sltp.trigger = AdvanceTrigger::AnyDcache;
-        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
-
-        std::vector<double> row;
-        auto record = [&](const RunResult &r, int bar) {
-            row.push_back(percentSpeedup(base, r));
-            auto &ratios = is_fp ? fp_ratios : int_ratios;
-            ratios[bar - 1].push_back(double(base.cycles) /
-                                      double(r.cycles));
-        };
-
-        record(simulate(CoreKind::Sltp, cfg, trace), 1);
-        for (int bar = 2; bar <= 5; ++bar) {
-            SimConfig bar_cfg;
-            bar_cfg.icfp = barConfig(bar);
-            record(simulate(CoreKind::ICfp, bar_cfg, trace), bar);
-        }
-        table.addRow(name, row, 1);
-    };
-
-    for (const char *name : kFpBenches)
-        run_bench(name, true);
-    for (const char *name : kIntBenches)
-        run_bench(name, false);
-
-    auto geomean_row = [&](const char *label,
-                           const std::vector<std::vector<double>> &ratios) {
-        std::vector<double> row;
-        for (const auto &r : ratios)
-            row.push_back(geomeanSpeedupPct(r));
-        table.addRow(label, row, 1);
-    };
-    table.addNote("");
-    geomean_row("SPECfp geomean", fp_ratios);
-    geomean_row("SPECint geomean", int_ratios);
-
-    table.addNote("");
-    table.addNote("Paper: the chained store buffer alone adds ~2%; "
-                  "non-blocking rallies ~7% (large on mcf/vpr); 8-bit "
-                  "poison vectors ~1.5% (6% on mcf); multithreaded "
-                  "rallies the rest. Expected shape: monotone increase "
-                  "left to right.");
-    table.print();
+    const SweepSpec spec = fig7Spec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    fig7Table(spec, results).print();
+    writeBenchCsv("fig7_feature_build", results);
     return 0;
 }

@@ -4,9 +4,14 @@
  * forwarding (the SRL/LCF analog), address-hash chained (iCFP), and
  * idealized fully-associative — plus the Section 3.2 chain-hop
  * statistics that justify chaining.
+ *
+ * Runs its (bench × design) grid on the sweep engine (sim/sweep.hh):
+ * ICFP_SWEEP_JOBS bounds the worker threads, ICFP_TRACE_DIR persists
+ * golden traces across runs, and ICFP_BENCH_CSV captures the raw grid
+ * as a sweep CSV artifact.
  */
 
-#include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -14,60 +19,10 @@ using namespace icfp::bench;
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-
-    const char *benches[] = {"applu", "equake", "swim",
-                             "bzip2", "gzip", "vpr"};
-
-    Table table("Figure 8: store buffer alternatives, % speedup over "
-                "in-order (+ excess hops per 100 loads, chained)");
-    table.setColumns({"bench", "indexed-ltd", "chained", "fully-assoc",
-                      "hops/100ld"});
-
-    std::vector<double> r_idx, r_chain, r_assoc;
-    for (const char *name : benches) {
-        const Trace &trace = traces.get(name);
-        SimConfig cfg;
-        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
-
-        SimConfig cfg_idx = cfg;
-        cfg_idx.icfp.storeBuffer.mode = SbMode::IndexedLimited;
-        const RunResult ri = simulate(CoreKind::ICfp, cfg_idx, trace);
-
-        SimConfig cfg_chain = cfg;
-        cfg_chain.icfp.storeBuffer.mode = SbMode::Chained;
-        const RunResult rc = simulate(CoreKind::ICfp, cfg_chain, trace);
-
-        SimConfig cfg_assoc = cfg;
-        cfg_assoc.icfp.storeBuffer.mode = SbMode::FullyAssoc;
-        const RunResult ra = simulate(CoreKind::ICfp, cfg_assoc, trace);
-
-        const double hops =
-            rc.sbChainLoads
-                ? 100.0 * double(rc.sbExcessHops) / double(rc.sbChainLoads)
-                : 0.0;
-
-        table.addRow(name,
-                     {percentSpeedup(base, ri), percentSpeedup(base, rc),
-                      percentSpeedup(base, ra), hops},
-                     1);
-        r_idx.push_back(double(base.cycles) / double(ri.cycles));
-        r_chain.push_back(double(base.cycles) / double(rc.cycles));
-        r_assoc.push_back(double(base.cycles) / double(ra.cycles));
-    }
-
-    table.addNote("");
-    table.addRow("geomean",
-                 {geomeanSpeedupPct(r_idx), geomeanSpeedupPct(r_chain),
-                  geomeanSpeedupPct(r_assoc), 0.0},
-                 1);
-    table.addNote("");
-    table.addNote("Paper: chaining tracks idealized fully-associative "
-                  "search within 1% everywhere; the indexed/limited "
-                  "scheme performs poorly because the in-order pipeline "
-                  "cannot flow around its stalls. Excess hops per load "
-                  "stay below 0.5 for all benchmarks (Section 3.2).");
-    table.print();
+    const SweepSpec spec = fig8Spec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    fig8Table(spec, results).print();
+    writeBenchCsv("fig8_store_buffer", results);
     return 0;
 }

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Sweep-engine grids and table assembly for the Figure 7 / Figure 8 /
+ * ablation harnesses, shared between the bench mains and the gtest
+ * smoke suite (tests/test_sweep.cc).
+ *
+ * Each figure is expressed as a SweepSpec (so the harness inherits the
+ * engine's thread pool, the shared in-memory trace cache, the
+ * persistent trace store, and CSV emission) plus a pure results→Table
+ * function that reproduces the legacy serial harness's rows, labels,
+ * and reference notes exactly.
+ */
+
+#ifndef ICFP_BENCH_FIGURE_SPECS_HH
+#define ICFP_BENCH_FIGURE_SPECS_HH
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/sweep.hh"
+
+namespace icfp {
+namespace bench {
+
+// --------------------------------------------------------------- Figure 7
+
+/** The benchmarks Figure 7 plots (fp first, paper order). */
+inline const std::vector<std::string> &
+fig7FpBenches()
+{
+    static const std::vector<std::string> names = {"ammp", "applu", "art",
+                                                   "equake", "swim"};
+    return names;
+}
+
+inline const std::vector<std::string> &
+fig7IntBenches()
+{
+    static const std::vector<std::string> names = {"bzip2", "gap", "gzip",
+                                                   "mcf", "vpr"};
+    return names;
+}
+
+/**
+ * Figure 7 "build" bars 2..5: SLTP with a chained store buffer, then
+ * + non-blocking rallies, + 8-bit poison vectors, + multithreaded
+ * rallies (= full iCFP). All advance under any miss, like iCFP.
+ */
+inline ICfpParams
+fig7BarConfig(int bar)
+{
+    ICfpParams p;
+    p.trigger = AdvanceTrigger::AnyDcache;
+    p.secondaryPolicy = SecondaryMissPolicy::Poison;
+    switch (bar) {
+      case 2: // + chained store buffer, blocking single rallies
+        p.nonBlockingRally = false;
+        p.multithreadedRally = false;
+        p.poisonBits = 1;
+        break;
+      case 3: // + multiple non-blocking rallies
+        p.nonBlockingRally = true;
+        p.multithreadedRally = false;
+        p.poisonBits = 1;
+        break;
+      case 4: // + 8-bit poison vectors
+        p.nonBlockingRally = true;
+        p.multithreadedRally = false;
+        p.poisonBits = 8;
+        break;
+      case 5: // + multithreaded rallies = iCFP
+      default:
+        break;
+    }
+    return p;
+}
+
+/** The Figure 7 grid: (10 benches) × (in-order base + 5 build bars). */
+inline SweepSpec
+fig7Spec(uint64_t insts)
+{
+    SweepSpec spec;
+    spec.benches = fig7FpBenches();
+    spec.benches.insert(spec.benches.end(), fig7IntBenches().begin(),
+                        fig7IntBenches().end());
+
+    // Bar 1 is SLTP itself, but advancing under any miss like iCFP; the
+    // in-order baseline shares that config (it ignores sltp params).
+    SimConfig base_cfg;
+    base_cfg.sltp.trigger = AdvanceTrigger::AnyDcache;
+    spec.variants.push_back({"base", CoreKind::InOrder, base_cfg});
+    spec.variants.push_back({"SLTP(SRL)", CoreKind::Sltp, base_cfg});
+    const char *labels[] = {"+chainSB", "+nonblock", "+poisonvec",
+                            "+MT(iCFP)"};
+    for (int bar = 2; bar <= 5; ++bar) {
+        SimConfig cfg;
+        cfg.icfp = fig7BarConfig(bar);
+        spec.variants.push_back({labels[bar - 2], CoreKind::ICfp, cfg});
+    }
+    spec.insts = insts;
+    return spec;
+}
+
+/** Assemble the Figure 7 table from grid-order results. */
+inline Table
+fig7Table(const SweepSpec &spec, const std::vector<SweepResult> &results)
+{
+    Table table("Figure 7: iCFP feature build, % speedup over in-order");
+    table.setColumns({"bench", "SLTP(SRL)", "+chainSB", "+nonblock",
+                      "+poisonvec", "+MT(iCFP)"});
+
+    const size_t stride = spec.variants.size();
+    std::vector<std::vector<double>> fp_ratios(stride - 1),
+        int_ratios(stride - 1);
+    for (size_t b = 0; b < spec.benches.size(); ++b) {
+        const bool is_fp = b < fig7FpBenches().size();
+        const RunResult &base = results[b * stride].result;
+        std::vector<double> row;
+        for (size_t v = 1; v < stride; ++v) {
+            const RunResult &r = results[b * stride + v].result;
+            row.push_back(percentSpeedup(base, r));
+            auto &ratios = is_fp ? fp_ratios : int_ratios;
+            ratios[v - 1].push_back(double(base.cycles) / double(r.cycles));
+        }
+        table.addRow(spec.benches[b], row, 1);
+    }
+
+    auto geomean_row = [&](const char *label,
+                           const std::vector<std::vector<double>> &ratios) {
+        std::vector<double> row;
+        for (const auto &r : ratios)
+            row.push_back(geomeanSpeedupPct(r));
+        table.addRow(label, row, 1);
+    };
+    table.addNote("");
+    geomean_row("SPECfp geomean", fp_ratios);
+    geomean_row("SPECint geomean", int_ratios);
+
+    table.addNote("");
+    table.addNote("Paper: the chained store buffer alone adds ~2%; "
+                  "non-blocking rallies ~7% (large on mcf/vpr); 8-bit "
+                  "poison vectors ~1.5% (6% on mcf); multithreaded "
+                  "rallies the rest. Expected shape: monotone increase "
+                  "left to right.");
+    return table;
+}
+
+// --------------------------------------------------------------- Figure 8
+
+/** The Figure 8 grid: 6 benches × (base + 3 store-buffer designs). */
+inline SweepSpec
+fig8Spec(uint64_t insts)
+{
+    SweepSpec spec;
+    spec.benches = {"applu", "equake", "swim", "bzip2", "gzip", "vpr"};
+
+    const SimConfig cfg;
+    SimConfig cfg_idx = cfg;
+    cfg_idx.icfp.storeBuffer.mode = SbMode::IndexedLimited;
+    SimConfig cfg_chain = cfg;
+    cfg_chain.icfp.storeBuffer.mode = SbMode::Chained;
+    SimConfig cfg_assoc = cfg;
+    cfg_assoc.icfp.storeBuffer.mode = SbMode::FullyAssoc;
+
+    spec.variants = {{"base", CoreKind::InOrder, cfg},
+                     {"indexed-ltd", CoreKind::ICfp, cfg_idx},
+                     {"chained", CoreKind::ICfp, cfg_chain},
+                     {"fully-assoc", CoreKind::ICfp, cfg_assoc}};
+    spec.insts = insts;
+    return spec;
+}
+
+/** Assemble the Figure 8 table from grid-order results. */
+inline Table
+fig8Table(const SweepSpec &spec, const std::vector<SweepResult> &results)
+{
+    Table table("Figure 8: store buffer alternatives, % speedup over "
+                "in-order (+ excess hops per 100 loads, chained)");
+    table.setColumns({"bench", "indexed-ltd", "chained", "fully-assoc",
+                      "hops/100ld"});
+
+    const size_t stride = spec.variants.size();
+    std::vector<double> r_idx, r_chain, r_assoc;
+    for (size_t b = 0; b < spec.benches.size(); ++b) {
+        const RunResult &base = results[b * stride + 0].result;
+        const RunResult &ri = results[b * stride + 1].result;
+        const RunResult &rc = results[b * stride + 2].result;
+        const RunResult &ra = results[b * stride + 3].result;
+
+        const double hops =
+            rc.sbChainLoads
+                ? 100.0 * double(rc.sbExcessHops) / double(rc.sbChainLoads)
+                : 0.0;
+        table.addRow(spec.benches[b],
+                     {percentSpeedup(base, ri), percentSpeedup(base, rc),
+                      percentSpeedup(base, ra), hops},
+                     1);
+        r_idx.push_back(double(base.cycles) / double(ri.cycles));
+        r_chain.push_back(double(base.cycles) / double(rc.cycles));
+        r_assoc.push_back(double(base.cycles) / double(ra.cycles));
+    }
+
+    table.addNote("");
+    table.addRow("geomean",
+                 {geomeanSpeedupPct(r_idx), geomeanSpeedupPct(r_chain),
+                  geomeanSpeedupPct(r_assoc), 0.0},
+                 1);
+    table.addNote("");
+    table.addNote("Paper: chaining tracks idealized fully-associative "
+                  "search within 1% everywhere; the indexed/limited "
+                  "scheme performs poorly because the in-order pipeline "
+                  "cannot flow around its stalls. Excess hops per load "
+                  "stay below 0.5 for all benchmarks (Section 3.2).");
+    return table;
+}
+
+// -------------------------------------------------------------- Ablations
+
+/**
+ * One ablation study: a knob swept over a miss-heavy bench subset.
+ *
+ * Variant labels are study-qualified ("slice=16", "policy=stall") so
+ * the five studies' rows stay distinguishable when concatenated into
+ * one CSV artifact; ablationTable() strips the "knob=" prefix to
+ * reproduce the legacy serial table's bare row labels.
+ */
+struct AblationStudy
+{
+    std::string title;
+    std::string knobColumn;         ///< first (row label) column name
+    std::string knobKey;            ///< variant-label prefix ("slice")
+    std::vector<std::string> notes; ///< appended after the rows
+    SweepSpec spec; ///< variants: in-order base + one per knob value
+};
+
+/** The five DESIGN.md ablations from the legacy serial harness. */
+inline std::vector<AblationStudy>
+ablationStudies(uint64_t insts)
+{
+    const std::vector<std::string> benches = {"mcf", "vpr", "twolf", "art",
+                                              "equake"};
+    const SimConfig base_cfg;
+
+    auto make = [&](std::string title, std::string knob, std::string key,
+                    std::vector<std::string> notes) {
+        AblationStudy study;
+        study.title = std::move(title);
+        study.knobColumn = std::move(knob);
+        study.knobKey = std::move(key);
+        study.notes = std::move(notes);
+        study.spec.benches = benches;
+        study.spec.insts = insts;
+        study.spec.variants.push_back(
+            {study.knobKey + "/base", CoreKind::InOrder, base_cfg});
+        return study;
+    };
+    auto add = [](AblationStudy *study, const std::string &value,
+                  const SimConfig &cfg) {
+        study->spec.variants.push_back(
+            {study->knobKey + "=" + value, CoreKind::ICfp, cfg});
+    };
+
+    std::vector<AblationStudy> studies;
+
+    studies.push_back(make(
+        "Ablation: slice buffer capacity (iCFP % speedup over in-order)",
+        "slice entries", "slice",
+        {"Expected: gains saturate near the Table 1 sizing (128); small "
+         "buffers force simple-runahead."}));
+    for (const unsigned entries : {16u, 32u, 64u, 128u, 256u}) {
+        SimConfig cfg;
+        cfg.icfp.sliceEntries = entries;
+        add(&studies.back(), std::to_string(entries), cfg);
+    }
+
+    studies.push_back(
+        make("Ablation: rally skip bandwidth (slice banking)",
+             "skips/cycle", "skips",
+             {"Expected: low skip bandwidth throttles multi-pass rallies "
+              "over a sparse slice buffer (Section 3.4's banking "
+              "argument)."}));
+    for (const unsigned skips : {1u, 2u, 4u, 8u, 16u}) {
+        SimConfig cfg;
+        cfg.icfp.sliceSkipPerCycle = skips;
+        add(&studies.back(), std::to_string(skips), cfg);
+    }
+
+    studies.push_back(make(
+        "Ablation: rally width", "rally width", "width",
+        {"Expected: near-zero difference — slices are dependence chains "
+         "with internal parallelism near one (Section 3.1's bandwidth "
+         "argument)."}));
+    for (const unsigned width : {1u, 2u}) {
+        SimConfig cfg;
+        cfg.icfp.rallyWidth = width;
+        add(&studies.back(), std::to_string(width), cfg);
+    }
+
+    studies.push_back(make(
+        "Ablation: poisoned-address store policy (Section 3.2 offers "
+        "both)",
+        "policy", "policy",
+        {"Poison-address stores are rare (pointer-chasing stores), so "
+         "the two policies should differ little."}));
+    {
+        SimConfig stall;
+        stall.icfp.poisonAddrPolicy = PoisonAddrPolicy::Stall;
+        add(&studies.back(), "stall", stall);
+        SimConfig ra;
+        ra.icfp.poisonAddrPolicy = PoisonAddrPolicy::SimpleRunahead;
+        add(&studies.back(), "simple-runahead", ra);
+    }
+
+    studies.push_back(make(
+        "Ablation: simple-runahead lookahead bound", "max depth", "depth",
+        {"Unbounded non-committing advance pollutes the caches; too "
+         "little forfeits prefetching."}));
+    for (const unsigned depth : {64u, 256u, 512u, 2048u}) {
+        SimConfig cfg;
+        cfg.icfp.simpleRaMaxDepth = depth;
+        add(&studies.back(), std::to_string(depth), cfg);
+    }
+
+    return studies;
+}
+
+/** Assemble one ablation table from its study's grid-order results. */
+inline Table
+ablationTable(const AblationStudy &study,
+              const std::vector<SweepResult> &results)
+{
+    Table table(study.title);
+    std::vector<std::string> columns = {study.knobColumn};
+    columns.insert(columns.end(), study.spec.benches.begin(),
+                   study.spec.benches.end());
+    columns.push_back("geomean");
+    table.setColumns(columns);
+
+    const size_t stride = study.spec.variants.size();
+    for (size_t v = 1; v < stride; ++v) {
+        std::vector<double> row, ratios;
+        for (size_t b = 0; b < study.spec.benches.size(); ++b) {
+            const RunResult &base = results[b * stride].result;
+            const RunResult &r = results[b * stride + v].result;
+            row.push_back(percentSpeedup(base, r));
+            ratios.push_back(double(base.cycles) / double(r.cycles));
+        }
+        row.push_back(geomeanSpeedupPct(ratios));
+        // Strip the study-qualifying "knob=" prefix back off: the table
+        // shows the bare value, exactly like the legacy serial harness.
+        const std::string &label = study.spec.variants[v].label;
+        table.addRow(label.substr(label.find('=') + 1), row, 1);
+    }
+    for (const std::string &note : study.notes)
+        table.addNote(note);
+    return table;
+}
+
+} // namespace bench
+} // namespace icfp
+
+#endif // ICFP_BENCH_FIGURE_SPECS_HH

@@ -27,6 +27,16 @@
 
 namespace icfp {
 
+/**
+ * Serialization format version. Must stay in lockstep with the trailing
+ * digit of the "ICFPTRC1"/"ICFPPRG1" magics in trace_io.cc: bump both
+ * whenever the encoding changes (field added, reordered, or re-typed).
+ * Consumers that persist traces (sim/trace_store.hh) embed this in
+ * their cache keys so files in an old encoding are regenerated, never
+ * parsed (readTrace is fatal on undecodable input).
+ */
+constexpr unsigned kTraceIoFormatVersion = 1;
+
 /** Serialize @p program to @p os. */
 void writeProgram(std::ostream &os, const Program &program);
 

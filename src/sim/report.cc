@@ -246,19 +246,50 @@ sweepReportColumns()
 }
 
 std::string
-sweepCsv(const std::vector<SweepResult> &results)
+sweepCsvHeader()
 {
     std::ostringstream os;
     const std::vector<std::string> &columns = sweepReportColumns();
     for (size_t c = 0; c < columns.size(); ++c)
         os << (c ? "," : "") << csvField(columns[c]);
-    os << "\n";
-    for (const SweepResult &r : results) {
-        const std::vector<SweepCell> cells = sweepCells(r);
-        for (size_t c = 0; c < cells.size(); ++c)
-            os << (c ? "," : "") << csvField(cells[c].value);
-        os << "\n";
+    return os.str();
+}
+
+std::string
+sweepCsvRow(const SweepResult &result)
+{
+    std::ostringstream os;
+    const std::vector<SweepCell> cells = sweepCells(result);
+    for (size_t c = 0; c < cells.size(); ++c)
+        os << (c ? "," : "") << csvField(cells[c].value);
+    return os.str();
+}
+
+std::string
+sweepJsonRow(const SweepResult &result)
+{
+    std::ostringstream os;
+    const std::vector<std::string> &columns = sweepReportColumns();
+    const std::vector<SweepCell> cells = sweepCells(result);
+    os << "{";
+    for (size_t c = 0; c < cells.size(); ++c) {
+        os << (c ? ", " : "") << jsonString(columns[c]) << ": ";
+        if (cells[c].isString)
+            os << jsonString(cells[c].value);
+        else
+            os << cells[c].value;
     }
+    os << "}";
+    return os.str();
+}
+
+std::string
+sweepCsv(const std::vector<SweepResult> &results)
+{
+    std::ostringstream os;
+    os << sweepCsvHeader() << "\n";
+    for (const SweepResult &r : results)
+        os << sweepCsvRow(r) << "\n";
     return os.str();
 }
 
@@ -266,19 +297,10 @@ std::string
 sweepJson(const std::vector<SweepResult> &results)
 {
     std::ostringstream os;
-    const std::vector<std::string> &columns = sweepReportColumns();
     os << "[\n";
     for (size_t i = 0; i < results.size(); ++i) {
-        const std::vector<SweepCell> cells = sweepCells(results[i]);
-        os << "  {";
-        for (size_t c = 0; c < cells.size(); ++c) {
-            os << (c ? ", " : "") << jsonString(columns[c]) << ": ";
-            if (cells[c].isString)
-                os << jsonString(cells[c].value);
-            else
-                os << cells[c].value;
-        }
-        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        os << "  " << sweepJsonRow(results[i])
+           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "]\n";
     return os.str();

@@ -63,6 +63,18 @@ class Table
 /** Column names of the sweep CSV/JSON schema, in emission order. */
 const std::vector<std::string> &sweepReportColumns();
 
+/** The sweep CSV header line (no trailing newline). */
+std::string sweepCsvHeader();
+
+/** One sweep result as a CSV data line (no trailing newline). */
+std::string sweepCsvRow(const SweepResult &result);
+
+/** One sweep result as a flat JSON object ("{...}", no indent/comma).
+ *  sweepJson() and the shard artifacts (sim/merge.hh) both emit exactly
+ *  these bytes, which is what makes a merged report byte-identical to an
+ *  unsharded one. */
+std::string sweepJsonRow(const SweepResult &result);
+
 /**
  * Serialize sweep results as CSV (header + one row per result, input
  * order). Byte-deterministic for identical results.

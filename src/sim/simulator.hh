@@ -34,6 +34,17 @@
 
 namespace icfp {
 
+/**
+ * Timing-model semantics version: bump whenever a change to the core
+ * models, memory hierarchy, or branch predictors alters simulated
+ * results for an unchanged config. Shard artifacts fold it into their
+ * grid fingerprint (sim/merge.hh), so shards produced by binaries with
+ * different simulator semantics refuse to merge into one report.
+ * (Trace *generation* changes are versioned separately by
+ * kTraceGenVersion in sim/trace_store.hh.)
+ */
+constexpr unsigned kSimSemanticsVersion = 1;
+
 /** Build and functionally execute a benchmark analog. */
 Trace makeBenchTrace(const BenchmarkSpec &spec,
                      uint64_t insts = kDefaultBenchInsts);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "sim/trace_store.hh"
 
 namespace icfp {
 
@@ -22,10 +23,67 @@ expandGrid(const SweepSpec &spec)
             job.variant = variant.label;
             job.core = variant.core;
             job.config = variant.config;
+            job.gridIndex = jobs.size();
             jobs.push_back(std::move(job));
         }
     }
     return jobs;
+}
+
+std::optional<ShardSpec>
+parseShardSpec(const std::string &text)
+{
+    const size_t slash = text.find('/');
+    if (slash == 0 || slash == std::string::npos ||
+        slash + 1 >= text.size()) {
+        return std::nullopt;
+    }
+    const std::string index_text = text.substr(0, slash);
+    const std::string count_text = text.substr(slash + 1);
+    const auto all_digits = [](const std::string &s) {
+        return !s.empty() &&
+               std::all_of(s.begin(), s.end(),
+                           [](char c) { return c >= '0' && c <= '9'; });
+    };
+    if (!all_digits(index_text) || !all_digits(count_text))
+        return std::nullopt;
+    // kMaxShards also bounds the digit count, so strtoull cannot
+    // overflow (and absurd splits are rejected rather than truncated).
+    if (index_text.size() > 9 || count_text.size() > 9)
+        return std::nullopt;
+    const unsigned long long index = std::strtoull(index_text.c_str(),
+                                                   nullptr, 10);
+    const unsigned long long count = std::strtoull(count_text.c_str(),
+                                                   nullptr, 10);
+    if (index < 1 || count < 1 || index > count || count > kMaxShards)
+        return std::nullopt;
+    ShardSpec shard;
+    shard.index = static_cast<unsigned>(index - 1);
+    shard.count = static_cast<unsigned>(count);
+    return shard;
+}
+
+size_t
+shardRowCount(size_t grid_size, const ShardSpec &shard)
+{
+    ICFP_ASSERT(shard.count >= 1 && shard.index < shard.count);
+    if (shard.index >= grid_size)
+        return 0;
+    // Indices {shard.index, shard.index + count, ...} below grid_size.
+    return (grid_size - shard.index - 1) / shard.count + 1;
+}
+
+std::vector<SweepJob>
+shardJobs(const std::vector<SweepJob> &jobs, const ShardSpec &shard)
+{
+    if (!shard.active())
+        return jobs;
+    std::vector<SweepJob> mine;
+    mine.reserve(shardRowCount(jobs.size(), shard));
+    for (const SweepJob &job : jobs)
+        if (job.gridIndex % shard.count == shard.index)
+            mine.push_back(job);
+    return mine;
 }
 
 std::vector<std::string>
@@ -91,8 +149,20 @@ defaultSweepJobs()
 }
 
 SweepEngine::SweepEngine(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultSweepJobs())
+    : jobs_(jobs ? jobs : defaultSweepJobs()), store_(TraceStore::fromEnv())
 {
+}
+
+void
+SweepEngine::setTraceStore(std::shared_ptr<TraceStore> store)
+{
+    store_ = std::move(store);
+}
+
+uint64_t
+SweepEngine::traceGenerations() const
+{
+    return generations_.load();
 }
 
 const Trace &
@@ -105,14 +175,29 @@ SweepEngine::traceLocked(const TraceKey &key)
             return *it->second;
     }
 
-    // Generate outside the lock; on a key race the first insert wins and
-    // the duplicate is dropped (generation is deterministic, so both are
-    // identical anyway).
-    BenchmarkSpec spec = findBenchmark(std::get<0>(key));
+    // Look up / generate outside the lock; on a key race the first insert
+    // wins and the duplicate is dropped (generation is deterministic, so
+    // both are identical anyway).
+    TraceId id;
+    id.bench = std::get<0>(key);
+    id.insts = std::get<1>(key);
     if (std::get<2>(key))
-        spec.workload.seed = std::get<3>(key);
-    auto trace = std::make_unique<Trace>(
-        makeBenchTrace(spec, std::get<1>(key)));
+        id.seed = std::get<3>(key);
+
+    std::unique_ptr<Trace> trace;
+    if (store_) {
+        if (std::optional<Trace> cached = store_->load(id))
+            trace = std::make_unique<Trace>(std::move(*cached));
+    }
+    if (!trace) {
+        BenchmarkSpec spec = findBenchmark(id.bench);
+        if (id.seed)
+            spec.workload.seed = *id.seed;
+        trace = std::make_unique<Trace>(makeBenchTrace(spec, id.insts));
+        generations_.fetch_add(1);
+        if (store_)
+            store_->store(id, *trace);
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = traces_.emplace(key, std::move(trace));

@@ -8,11 +8,19 @@
  *
  * Determinism contract: each simulate() call is a pure function of
  * (CoreKind, SimConfig, Trace), trace generation is a pure function of
- * (workload params, instruction budget), and results land in a slot
+ * (workload params, instruction budget, seed), and results land in a slot
  * preallocated from the grid index — so a sweep's result vector (and any
  * CSV/JSON serialization of it, see sim/report.hh) is byte-identical for
  * `jobs == 1` and `jobs == N`. The per-figure harnesses and the
  * `icfp-sim sweep` subcommand all ride on this.
+ *
+ * The same contract extends across processes: every expanded job carries
+ * a stable gridIndex, and ShardSpec/shardJobs() partition the grid into
+ * `--shard i/N` slices whose emitted artifacts sim/merge.hh stitches back
+ * into the byte-identical unsharded report — cluster-scale grids are just
+ * N invocations plus one merge. Golden traces persist across processes
+ * through the TraceStore (sim/trace_store.hh) the engine consults before
+ * generating.
  *
  * @code
  *   SweepSpec spec;
@@ -28,6 +36,7 @@
 #ifndef ICFP_SIM_SWEEP_HH
 #define ICFP_SIM_SWEEP_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -65,7 +74,43 @@ struct SweepJob
     std::string variant; ///< the SweepVariant label
     CoreKind core = CoreKind::InOrder;
     SimConfig config{};
+    /** Stable position in the full unsharded grid. Assigned by
+     *  expandGrid() and preserved by shardJobs(), this is the global
+     *  index sharding partitions and merging re-interleaves on. */
+    size_t gridIndex = 0;
 };
+
+/**
+ * One slice of a sharded grid: shard @p index of @p count runs exactly
+ * the jobs whose gridIndex ≡ index (mod count). Round-robin assignment
+ * keeps shards balanced even though the grid is bench-major (all of an
+ * expensive benchmark's variants would otherwise land on one shard).
+ */
+struct ShardSpec
+{
+    unsigned index = 0; ///< 0-based shard index, < count
+    unsigned count = 1; ///< total shards
+
+    bool active() const { return count > 1; }
+};
+
+/** Upper bound on a grid split (sanity limit for CLI specs and shard
+ *  artifact headers; far beyond any real cluster). */
+constexpr unsigned kMaxShards = 100000;
+
+/**
+ * Parse a CLI shard spec "i/N" with 1 <= i <= N <= kMaxShards (1-based
+ * on the command line, stored 0-based). Returns std::nullopt on
+ * malformed or out-of-range input.
+ */
+std::optional<ShardSpec> parseShardSpec(const std::string &text);
+
+/** Row count shard @p shard owns in a @p grid_size grid. */
+size_t shardRowCount(size_t grid_size, const ShardSpec &shard);
+
+/** Filter expanded @p jobs to @p shard's subset (grid order kept). */
+std::vector<SweepJob> shardJobs(const std::vector<SweepJob> &jobs,
+                                const ShardSpec &shard);
 
 /** One finished cell: the job echoed back plus its statistics. */
 struct SweepResult
@@ -101,7 +146,16 @@ void parallelFor(size_t n, unsigned jobs,
  */
 unsigned defaultSweepJobs();
 
-/** The batch runner. Reusable: traces are cached across run() calls. */
+class TraceStore; // sim/trace_store.hh
+
+/**
+ * The batch runner. Reusable: traces are cached across run() calls.
+ *
+ * Trace lookups go memory cache → persistent TraceStore → generation.
+ * By default the engine attaches the environment-configured store
+ * (ICFP_TRACE_DIR, see sim/trace_store.hh), so a second sweep over the
+ * same grid — even in a fresh process — performs zero generations.
+ */
 class SweepEngine
 {
   public:
@@ -109,6 +163,17 @@ class SweepEngine
     explicit SweepEngine(unsigned jobs = 0);
 
     unsigned jobs() const { return jobs_; }
+
+    /** Attach (or detach, with nullptr) a persistent trace store,
+     *  replacing the environment default. */
+    void setTraceStore(std::shared_ptr<TraceStore> store);
+
+    /** The attached persistent store, if any. */
+    TraceStore *traceStore() const { return store_.get(); }
+
+    /** Golden traces generated (not served from memory or the store)
+     *  over this engine's lifetime. */
+    uint64_t traceGenerations() const;
 
     /** Expand @p spec and run the whole grid; results in grid order. */
     std::vector<SweepResult> run(const SweepSpec &spec);
@@ -149,6 +214,8 @@ class SweepEngine
     unsigned jobs_;
     std::mutex mutex_; ///< guards traces_ (map insertions only)
     std::map<TraceKey, std::unique_ptr<Trace>> traces_;
+    std::shared_ptr<TraceStore> store_;
+    std::atomic<uint64_t> generations_{0};
 };
 
 } // namespace icfp

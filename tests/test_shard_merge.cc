@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Golden determinism battery for sharded sweeps (sim/sweep.hh +
+ * sim/merge.hh): for a fixed grid, the merged output of `--shard i/N`
+ * artifacts is byte-identical to the unsharded report for N ∈
+ * {1, 2, 3, 5}; shards partition the grid exactly (no overlap, no
+ * gaps); and merge rejects missing, duplicate, and mismatched shards
+ * with clear errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/merge.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+
+namespace icfp {
+namespace {
+
+/** A 3×3 grid over small-footprint benches (fast, tiny traces). */
+SweepSpec
+gridSpec()
+{
+    SweepSpec spec;
+    spec.benches = {"gzip", "mesa", "crafty"};
+    const SimConfig cfg;
+    SimConfig slow_l2;
+    slow_l2.mem.l2HitLatency = 30;
+    spec.variants = {{"base", CoreKind::InOrder, cfg},
+                     {"icfp", CoreKind::ICfp, cfg},
+                     {"icfp-l2-30", CoreKind::ICfp, slow_l2}};
+    spec.insts = 3000;
+    return spec;
+}
+
+/** Run every shard of an N-way split and return its artifacts. */
+struct ShardRun
+{
+    std::vector<std::string> csv;
+    std::vector<std::string> json;
+    std::vector<std::vector<size_t>> ownedIndices;
+};
+
+ShardRun
+runSharded(SweepEngine &engine, const SweepSpec &spec, unsigned n)
+{
+    const std::vector<SweepJob> grid = expandGrid(spec);
+    const uint64_t fp = gridFingerprint(grid, spec.insts, spec.seed);
+    ShardRun run;
+    for (unsigned i = 0; i < n; ++i) {
+        const ShardSpec shard{i, n};
+        const std::vector<SweepJob> jobs = shardJobs(grid, shard);
+        std::vector<size_t> owned;
+        for (const SweepJob &job : jobs)
+            owned.push_back(job.gridIndex);
+        run.ownedIndices.push_back(owned);
+
+        const std::vector<SweepResult> results =
+            engine.run(jobs, spec.insts, spec.seed);
+        EXPECT_EQ(results.size(), shardRowCount(grid.size(), shard));
+        run.csv.push_back(shardCsv(results, shard, grid.size(), fp));
+        run.json.push_back(shardJson(results, shard, grid.size(), fp));
+    }
+    return run;
+}
+
+std::string
+mergeTexts(const std::vector<std::string> &artifacts)
+{
+    std::vector<ShardArtifact> parsed;
+    for (size_t i = 0; i < artifacts.size(); ++i)
+        parsed.push_back(
+            parseShardArtifact(artifacts[i], "shard" + std::to_string(i)));
+    return mergeShards(parsed);
+}
+
+class ShardMerge : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = new SweepSpec(gridSpec());
+        engine_ = new SweepEngine(2);
+        results_ = new std::vector<SweepResult>(engine_->run(*spec_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete results_;
+        delete engine_;
+        delete spec_;
+    }
+
+    static SweepSpec *spec_;
+    static SweepEngine *engine_; ///< shared so traces generate once
+    static std::vector<SweepResult> *results_; ///< the unsharded run
+};
+
+SweepSpec *ShardMerge::spec_ = nullptr;
+SweepEngine *ShardMerge::engine_ = nullptr;
+std::vector<SweepResult> *ShardMerge::results_ = nullptr;
+
+TEST_F(ShardMerge, ShardsPartitionTheGridExactly)
+{
+    const size_t grid_size = expandGrid(*spec_).size();
+    ASSERT_EQ(grid_size, 9u);
+    for (const unsigned n : {1u, 2u, 3u, 5u}) {
+        std::vector<size_t> all;
+        size_t row_total = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const ShardSpec shard{i, n};
+            const std::vector<SweepJob> jobs =
+                shardJobs(expandGrid(*spec_), shard);
+            EXPECT_EQ(jobs.size(), shardRowCount(grid_size, shard));
+            row_total += jobs.size();
+            for (const SweepJob &job : jobs)
+                all.push_back(job.gridIndex);
+        }
+        // No gaps, no overlap: the union is exactly 0..grid-1.
+        EXPECT_EQ(row_total, grid_size) << "N=" << n;
+        std::sort(all.begin(), all.end());
+        for (size_t j = 0; j < grid_size; ++j)
+            EXPECT_EQ(all[j], j) << "N=" << n;
+    }
+}
+
+TEST_F(ShardMerge, MergedBytesIdenticalToUnshardedRun)
+{
+    const std::string full_csv = sweepCsv(*results_);
+    const std::string full_json = sweepJson(*results_);
+    for (const unsigned n : {1u, 2u, 3u, 5u}) {
+        const ShardRun run = runSharded(*engine_, *spec_, n);
+        EXPECT_EQ(mergeTexts(run.csv), full_csv) << "N=" << n;
+        EXPECT_EQ(mergeTexts(run.json), full_json) << "N=" << n;
+    }
+}
+
+TEST_F(ShardMerge, MergeIsArtifactOrderIndependent)
+{
+    ShardRun run = runSharded(*engine_, *spec_, 3);
+    std::reverse(run.csv.begin(), run.csv.end());
+    std::reverse(run.json.begin(), run.json.end());
+    EXPECT_EQ(mergeTexts(run.csv), sweepCsv(*results_));
+    EXPECT_EQ(mergeTexts(run.json), sweepJson(*results_));
+}
+
+TEST_F(ShardMerge, ArtifactRoundTripsThroughParse)
+{
+    const ShardRun run = runSharded(*engine_, *spec_, 2);
+    const ShardArtifact a = parseShardArtifact(run.csv[1], "csv");
+    EXPECT_EQ(a.shard.index, 1u);
+    EXPECT_EQ(a.shard.count, 2u);
+    EXPECT_EQ(a.gridRows, 9u);
+    EXPECT_FALSE(a.isJson);
+    EXPECT_EQ(a.rows.size(), 4u); // indices 1,3,5,7 of 9
+
+    const ShardArtifact j = parseShardArtifact(run.json[0], "json");
+    EXPECT_TRUE(j.isJson);
+    EXPECT_EQ(j.rows.size(), 5u); // indices 0,2,4,6,8 of 9
+}
+
+/** The MergeError message for a failing merge of @p artifacts. */
+template <typename Fn>
+std::string
+mergeErrorOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const MergeError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST_F(ShardMerge, MergeRejectsMissingShard)
+{
+    ShardRun run = runSharded(*engine_, *spec_, 3);
+    run.csv.erase(run.csv.begin() + 1); // drop shard 2/3
+    const std::string error = mergeErrorOf([&] { mergeTexts(run.csv); });
+    EXPECT_NE(error.find("missing shard"), std::string::npos) << error;
+    EXPECT_NE(error.find("2/3"), std::string::npos) << error;
+}
+
+TEST_F(ShardMerge, MergeRejectsDuplicateShard)
+{
+    ShardRun run = runSharded(*engine_, *spec_, 3);
+    run.json[2] = run.json[0]; // shard 1/3 twice, 3/3 gone
+    const std::string error = mergeErrorOf([&] { mergeTexts(run.json); });
+    EXPECT_NE(error.find("duplicate shard 1/3"), std::string::npos)
+        << error;
+}
+
+TEST_F(ShardMerge, MergeRejectsMismatchedSplitsAndFormats)
+{
+    const ShardRun two = runSharded(*engine_, *spec_, 2);
+    const ShardRun three = runSharded(*engine_, *spec_, 3);
+
+    const std::string count_error = mergeErrorOf(
+        [&] { mergeTexts({two.csv[0], three.csv[1]}); });
+    EXPECT_NE(count_error.find("count mismatch"), std::string::npos)
+        << count_error;
+
+    const std::string format_error = mergeErrorOf(
+        [&] { mergeTexts({two.csv[0], two.json[1]}); });
+    EXPECT_NE(format_error.find("CSV and JSON"), std::string::npos)
+        << format_error;
+
+    EXPECT_THROW(mergeShards({}), MergeError);
+}
+
+TEST_F(ShardMerge, MergeRejectsShardsOfDifferentSweeps)
+{
+    // Same shape (3 benches × 3 variants, same schema, same split) but a
+    // different benchmark list: only the grid fingerprint tells them
+    // apart, and merge must refuse the mix.
+    SweepSpec other = *spec_;
+    other.benches[2] = "vpr";
+    ASSERT_NE(gridFingerprint(expandGrid(other), other.insts, other.seed),
+              gridFingerprint(expandGrid(*spec_), spec_->insts,
+                              spec_->seed));
+
+    const ShardRun mine = runSharded(*engine_, *spec_, 2);
+    const ShardRun theirs = runSharded(*engine_, other, 2);
+    const std::string error = mergeErrorOf(
+        [&] { mergeTexts({mine.csv[0], theirs.csv[1]}); });
+    EXPECT_NE(error.find("different sweeps"), std::string::npos) << error;
+
+    // Same spec but a different seed must also refuse to merge.
+    SweepSpec seeded = *spec_;
+    seeded.seed = 7;
+    const ShardRun reseeded = runSharded(*engine_, seeded, 2);
+    EXPECT_NE(mergeErrorOf([&] {
+                  mergeTexts({mine.json[0], reseeded.json[1]});
+              }).find("different sweeps"),
+              std::string::npos);
+
+    // Config knobs that do not rename variants (the CLI's --l2-lat
+    // etc.) are folded in via extra_identity and must change the
+    // fingerprint too.
+    const std::vector<SweepJob> grid = expandGrid(*spec_);
+    EXPECT_NE(gridFingerprint(grid, spec_->insts, spec_->seed, "l2=10"),
+              gridFingerprint(grid, spec_->insts, spec_->seed, "l2=90"));
+}
+
+TEST_F(ShardMerge, ParseRejectsTamperedArtifacts)
+{
+    const ShardRun run = runSharded(*engine_, *spec_, 2);
+
+    // Truncate one data row: the row count no longer matches the header.
+    std::string truncated = run.csv[0];
+    truncated.erase(truncated.rfind('\n', truncated.size() - 2) + 1);
+    EXPECT_THROW(parseShardArtifact(truncated, "t"), MergeError);
+
+    // A plain unsharded report is not a shard artifact.
+    EXPECT_THROW(parseShardArtifact(sweepCsv(*results_), "plain"),
+                 MergeError);
+    EXPECT_THROW(parseShardArtifact("", "empty"), MergeError);
+
+    // Header index outside 1..count.
+    std::string bad = run.csv[0];
+    bad.replace(bad.find("index=1"), 7, "index=9");
+    EXPECT_THROW(parseShardArtifact(bad, "b"), MergeError);
+
+    // A crafted/corrupt header with an absurd shard count must raise
+    // MergeError, not attempt a header-sized allocation (bad_alloc).
+    std::string huge = run.csv[0];
+    huge.replace(huge.find("count=2"), 7, "count=4000000000");
+    EXPECT_THROW(parseShardArtifact(huge, "h"), MergeError);
+}
+
+} // namespace
+} // namespace icfp

@@ -9,6 +9,8 @@
  *   compare --bench B            run every model on one benchmark
  *   suite   --core C             run one model over the whole suite
  *   sweep   [--benches ...] [--cores ...]  run a (bench × core) grid
+ *   merge   [--out F] SHARD...   stitch `sweep --shard` artifacts back
+ *                                into the byte-identical unsharded report
  *   trace   --bench B --save-trace F   generate + save a golden trace
  *   disasm  --bench B [--n N]    print the first N dynamic instructions
  *
@@ -31,6 +33,10 @@
  *   --cores X,Y      core-model subset for sweep (default: all)
  *   --format F       sweep output: table | csv | json (default table)
  *   --out FILE       write the sweep report to FILE instead of stdout
+ *   --shard i/N      run only shard i of N (1-based); emits a shard
+ *                    artifact (csv/json only) for `icfp-sim merge`
+ *   --trace-dir DIR  persistent golden-trace store (overrides the
+ *                    ICFP_TRACE_DIR environment variable)
  *
  * Exit status: 0 on success, 1 on usage errors.
  */
@@ -44,9 +50,11 @@
 
 #include "common/logging.hh"
 #include "isa/trace_io.hh"
+#include "sim/merge.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "sim/trace_store.hh"
 
 namespace {
 
@@ -59,6 +67,7 @@ struct Options
     std::string bench = "mcf";
     std::string core = "icfp";
     uint64_t insts = kDefaultBenchInsts;
+    bool instsSet = false; ///< --insts given explicitly
     std::optional<uint64_t> seed;
     std::optional<Cycle> l2Latency;
     std::optional<Cycle> memLatency;
@@ -75,7 +84,12 @@ struct Options
     std::string benches = "all";
     std::string cores = "all";
     std::string format = "table";
+    bool formatSet = false; ///< --format given explicitly
     std::optional<std::string> out;
+    std::optional<ShardSpec> shard;
+    std::optional<std::string> traceDir;
+
+    std::vector<std::string> inputs; ///< positional args (merge shards)
 };
 
 void
@@ -83,7 +97,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: icfp-sim "
-                 "<list|cores|run|compare|suite|sweep|trace|disasm> "
+                 "<list|cores|run|compare|suite|sweep|merge|trace|disasm> "
                  "[options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
@@ -111,6 +125,7 @@ parseArgs(int argc, char **argv, Options *opt)
             opt->core = next();
         } else if (arg == "--insts") {
             opt->insts = std::strtoull(next(), nullptr, 0);
+            opt->instsSet = true;
         } else if (arg == "--seed") {
             opt->seed = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--l2-lat") {
@@ -144,14 +159,59 @@ parseArgs(int argc, char **argv, Options *opt)
             opt->cores = next();
         } else if (arg == "--format") {
             opt->format = next();
+            opt->formatSet = true;
         } else if (arg == "--out") {
             opt->out = next();
+        } else if (arg == "--shard") {
+            const char *text = next();
+            opt->shard = parseShardSpec(text);
+            if (!opt->shard) {
+                std::fprintf(stderr,
+                             "bad --shard '%s' (want i/N with "
+                             "1 <= i <= N)\n",
+                             text);
+                return false;
+            }
+        } else if (arg == "--trace-dir") {
+            opt->traceDir = next();
+            if (opt->traceDir->empty()) {
+                // An empty dir (unset shell variable) would root the
+                // store at "" and scatter .trc files into the CWD.
+                std::fprintf(stderr,
+                             "--trace-dir requires a non-empty "
+                             "directory\n");
+                return false;
+            }
+        } else if (arg.rfind("--", 0) != 0) {
+            opt->inputs.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return false;
         }
     }
     return true;
+}
+
+/**
+ * The config-shaping options as a canonical string for the sweep grid
+ * fingerprint: makeConfig() bakes these into every variant without
+ * renaming it, so two shards run with different overrides would
+ * otherwise look mergeable.
+ */
+std::string
+configIdentity(const Options &opt)
+{
+    std::string id = "l2=";
+    id += opt.l2Latency ? std::to_string(*opt.l2Latency) : "-";
+    id += " mem=";
+    id += opt.memLatency ? std::to_string(*opt.memLatency) : "-";
+    id += " pb=";
+    id += opt.poisonBits ? std::to_string(*opt.poisonBits) : "-";
+    id += " trig=";
+    id += opt.trigger ? *opt.trigger : "-";
+    id += opt.blockingRally ? " blocking-rally" : "";
+    id += opt.noMtRally ? " no-mt-rally" : "";
+    return id;
 }
 
 /** Apply option overrides onto a default SimConfig. */
@@ -264,12 +324,53 @@ validSweepFormat(const std::string &format)
     return format == "table" || format == "csv" || format == "json";
 }
 
-/** Emit a sweep report per --format/--out. @pre validSweepFormat() */
+/** Apply --trace-dir (overriding the ICFP_TRACE_DIR directory; the
+ *  ICFP_TRACE_DIR_MAX_MB cap still applies). */
+void
+applyTraceDir(SweepEngine &engine, const Options &opt)
+{
+    if (opt.traceDir) {
+        engine.setTraceStore(std::make_shared<TraceStore>(
+            *opt.traceDir, TraceStore::maxBytesFromEnv()));
+    }
+}
+
+/** One greppable stderr line of trace-store traffic (the observable
+ *  hit/miss counter: a warm store shows misses=0 generations=0). */
+void
+printStoreStats(const SweepEngine &engine)
+{
+    const TraceStore *store = engine.traceStore();
+    if (!store)
+        return;
+    const TraceStore::Stats s = store->stats();
+    std::fprintf(stderr,
+                 "icfp-sim: trace store hits=%llu misses=%llu "
+                 "writes=%llu corrupt=%llu evictions=%llu "
+                 "generations=%llu dir=%s\n",
+                 (unsigned long long)s.hits, (unsigned long long)s.misses,
+                 (unsigned long long)s.writes,
+                 (unsigned long long)s.corrupt,
+                 (unsigned long long)s.evictions,
+                 (unsigned long long)engine.traceGenerations(),
+                 store->dir().c_str());
+}
+
+/**
+ * Emit a sweep report per --format/--out. With --shard, emits a shard
+ * artifact carrying (shard, @p grid_rows) metadata for `icfp-sim merge`.
+ * @pre validSweepFormat()
+ */
 int
-emitSweep(const Options &opt, const std::vector<SweepResult> &results)
+emitSweep(const Options &opt, const std::vector<SweepResult> &results,
+          uint64_t grid_rows, uint64_t grid_fp)
 {
     std::string text;
-    if (opt.format == "csv") {
+    if (opt.shard && opt.format == "csv") {
+        text = shardCsv(results, *opt.shard, grid_rows, grid_fp);
+    } else if (opt.shard && opt.format == "json") {
+        text = shardJson(results, *opt.shard, grid_rows, grid_fp);
+    } else if (opt.format == "csv") {
         text = sweepCsv(results);
     } else if (opt.format == "json") {
         text = sweepJson(results);
@@ -382,6 +483,7 @@ cmdCompare(const Options &opt)
         coreVariants(CoreRegistry::instance().kinds(), cfg);
 
     SweepEngine engine(opt.jobs);
+    applyTraceDir(engine, opt);
     std::vector<SweepResult> results;
     if (opt.loadTrace) {
         const Trace trace = makeTrace(opt);
@@ -396,6 +498,7 @@ cmdCompare(const Options &opt)
         if (opt.saveTrace)
             saveTraceFile(*opt.saveTrace,
                           engine.trace(opt.bench, opt.insts, opt.seed));
+        printStoreStats(engine);
     }
 
     Table t("All models on " + opt.bench);
@@ -446,7 +549,9 @@ cmdSuite(const Options &opt)
     spec.seed = opt.seed;
 
     SweepEngine engine(opt.jobs);
+    applyTraceDir(engine, opt);
     const std::vector<SweepResult> results = engine.run(spec);
+    printStoreStats(engine);
 
     Table t("Suite results: " + opt.core);
     t.setColumns({"bench", "IPC", "D$ miss/KI", "L2 miss/KI", "D$ MLP",
@@ -472,6 +577,12 @@ cmdSweep(const Options &opt)
         std::fprintf(stderr, "unknown format '%s'\n", opt.format.c_str());
         return 1;
     }
+    if (opt.shard && opt.format == "table") {
+        std::fprintf(stderr,
+                     "--shard emits a mergeable artifact; use "
+                     "--format csv or json\n");
+        return 1;
+    }
     SweepSpec spec;
     spec.benches = resolveBenches(opt.benches);
     // Validate names before touching the output file (findBenchmark is
@@ -492,8 +603,65 @@ cmdSweep(const Options &opt)
         std::fclose(f);
     }
 
+    const std::vector<SweepJob> grid = expandGrid(spec);
+    const std::vector<SweepJob> jobs =
+        opt.shard ? shardJobs(grid, *opt.shard) : grid;
+
     SweepEngine engine(opt.jobs);
-    return emitSweep(opt, engine.run(spec));
+    applyTraceDir(engine, opt);
+    const std::vector<SweepResult> results =
+        engine.run(jobs, spec.insts, spec.seed);
+    printStoreStats(engine);
+    return emitSweep(opt, results, grid.size(),
+                     gridFingerprint(grid, spec.insts, spec.seed,
+                                     configIdentity(opt)));
+}
+
+int
+cmdMerge(const Options &opt)
+{
+    if (opt.inputs.empty()) {
+        std::fprintf(stderr,
+                     "merge: give the shard artifact files to merge\n");
+        return 1;
+    }
+    if (opt.formatSet) {
+        // Never pretend to honor a format we don't control: the merged
+        // report's format is whatever the shard artifacts carry.
+        std::fprintf(stderr,
+                     "merge: the output format is inferred from the "
+                     "artifacts; --format is not accepted\n");
+        return 1;
+    }
+    if (opt.instsSet || opt.benches != "all" || opt.cores != "all" ||
+        opt.seed || opt.jobs != 0) {
+        // Same policy as --format: merge only stitches artifacts, so a
+        // sweep-shaping option here would be silently meaningless.
+        std::fprintf(stderr,
+                     "merge: --insts/--benches/--cores/--seed/--jobs "
+                     "shape a sweep, not a merge; rerun the shards "
+                     "instead\n");
+        return 1;
+    }
+    std::string text;
+    try {
+        text = mergeShardFiles(opt.inputs);
+    } catch (const MergeError &e) {
+        std::fprintf(stderr, "merge: %s\n", e.what());
+        return 1;
+    }
+    if (opt.out) {
+        std::FILE *f = std::fopen(opt.out->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opt.out->c_str());
+            return 1;
+        }
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
 }
 
 int
@@ -540,6 +708,24 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    if (opt.command != "merge" && !opt.inputs.empty()) {
+        std::fprintf(stderr, "unexpected argument '%s'\n",
+                     opt.inputs.front().c_str());
+        return 1;
+    }
+    // Options that other commands would silently ignore are errors: a
+    // user who asked for a grid slice must not get the full grid.
+    if (opt.shard && opt.command != "sweep") {
+        std::fprintf(stderr, "--shard only applies to 'sweep'\n");
+        return 1;
+    }
+    if (opt.traceDir && opt.command != "sweep" &&
+        opt.command != "compare" && opt.command != "suite") {
+        std::fprintf(stderr,
+                     "--trace-dir only applies to the engine commands "
+                     "(sweep, compare, suite)\n");
+        return 1;
+    }
     if (opt.command == "list")
         return cmdList();
     if (opt.command == "cores")
@@ -552,6 +738,8 @@ main(int argc, char **argv)
         return cmdSuite(opt);
     if (opt.command == "sweep")
         return cmdSweep(opt);
+    if (opt.command == "merge")
+        return cmdMerge(opt);
     if (opt.command == "trace")
         return cmdTrace(opt);
     if (opt.command == "disasm")
