@@ -58,11 +58,13 @@ main()
 
     Table squashes("MP safety: false squashes per 1000 external probes");
     squashes.setColumns(cols);
+    std::vector<SweepResult> grid;
 
     for (const std::string &name : benches) {
         const Trace &trace = traces.get(name);
         SimConfig cfg;
         const RunResult quiet = simulate(CoreKind::ICfp, cfg, trace);
+        grid.push_back({name, "quiet", CoreKind::ICfp, quiet});
         // Traffic horizon: generously past the quiet-run cycle count.
         const Cycle horizon = quiet.cycles * 2;
 
@@ -74,6 +76,10 @@ main()
                 c.icfp.signatureBits = bits;
                 c.icfp.externalStores = externalTraffic(period, horizon);
                 const RunResult r = simulate(CoreKind::ICfp, c, trace);
+                grid.push_back({name,
+                                "sig=" + std::to_string(bits) + "/period=" +
+                                    std::to_string(period),
+                                CoreKind::ICfp, r});
                 slow_row.push_back(100.0 * (double(r.cycles) /
                                                 double(quiet.cycles) -
                                             1.0));
@@ -99,5 +105,6 @@ main()
     table.print();
     std::printf("\n");
     squashes.print();
+    writeBenchCsv("mp_safety", grid);
     return 0;
 }

@@ -21,6 +21,7 @@ main()
     const uint64_t insts = benchInstBudget();
     TraceCache traces(insts);
     SimConfig cfg;
+    std::vector<SweepResult> grid;
 
     Table table("Section 5.3: out-of-order context "
                 "(" + std::to_string(insts) + " insts/benchmark)");
@@ -33,6 +34,10 @@ main()
         const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
         const RunResult ooo = simulate(CoreKind::Ooo, cfg, trace);
         const RunResult cfp = simulate(CoreKind::Cfp, cfg, trace);
+        grid.push_back({spec.name, "base", CoreKind::InOrder, base});
+        grid.push_back({spec.name, "icfp", CoreKind::ICfp, ic});
+        grid.push_back({spec.name, "ooo", CoreKind::Ooo, ooo});
+        grid.push_back({spec.name, "cfp", CoreKind::Cfp, cfp});
 
         table.addRow(spec.name,
                      {base.ipc(), percentSpeedup(base, ic),
@@ -55,5 +60,6 @@ main()
     table.addNote("paper: iCFP +16%, 2-way out-of-order +68%, "
                   "out-of-order CFP +83% (Section 5.3)");
     table.print();
+    writeBenchCsv("sec53_ooo", grid);
     return 0;
 }

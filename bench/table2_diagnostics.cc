@@ -17,6 +17,7 @@ main()
     const uint64_t insts = benchInstBudget();
     TraceCache traces(insts);
     SimConfig cfg;
+    std::vector<SweepResult> grid;
 
     Table table("Table 2: iCFP diagnostics (paper reference values in "
                 "parentheses columns)");
@@ -29,6 +30,9 @@ main()
         const RunResult io = simulate(CoreKind::InOrder, cfg, trace);
         const RunResult ra = simulate(CoreKind::Runahead, cfg, trace);
         const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+        grid.push_back({spec.name, "in-order", CoreKind::InOrder, io});
+        grid.push_back({spec.name, "runahead", CoreKind::Runahead, ra});
+        grid.push_back({spec.name, "icfp", CoreKind::ICfp, ic});
 
         table.addRow(spec.name,
                      {io.missPerKi(io.mem.dcacheMisses),
@@ -45,5 +49,6 @@ main()
     table.addNote("Rally/KI large for dependent-miss codes (paper: mcf "
                   "2876, ammp 428, twolf 224, vpr 187).");
     table.print();
+    writeBenchCsv("table2_diagnostics", grid);
     return 0;
 }

@@ -115,8 +115,8 @@ BranchUnit::resolve(const DynInst &di, const BranchPrediction &pred)
       default:
         ICFP_ASSERT(di.isCondBranch());
         ++stats_.condBranches;
-        direction_.update(di.pc, di.taken, pred.predTaken);
-        if (di.taken)
+        direction_.update(di.pc, di.taken(), pred.predTaken);
+        if (di.taken())
             btbInsert(di.pc, di.nextPc);
         if (!correct)
             ++stats_.condMispredicts;

@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -7,57 +8,73 @@
 namespace icfp {
 
 void
-MlpIntegrator::record(Cycle start, Cycle end)
+MlpIntegrator::finalize() const
 {
-    if (end <= start)
+    if (finalized_)
         return;
-    delta_[start] += 1;
-    delta_[end] -= 1;
-    ++count_;
+
+    // Sorted endpoint events: +1 at start, -1 at end. Events at equal
+    // times contribute no span between one another, so per-event
+    // processing is arithmetic-identical to summing coincident deltas
+    // first (the integer area feeds the same double division as before).
+    struct Event
+    {
+        Cycle time;
+        int delta;
+    };
+    std::vector<Event> events;
+    events.reserve(intervals_.size() * 2);
+    for (const Interval &iv : intervals_) {
+        events.push_back({iv.start, +1});
+        events.push_back({iv.end, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) { return a.time < b.time; });
+
+    unsigned __int128 area = 0;
+    Cycle busy = 0;
+    int64_t level = 0;
+    Cycle prev = 0;
+    for (const Event &event : events) {
+        if (level > 0) {
+            const Cycle span = event.time - prev;
+            area += static_cast<unsigned __int128>(level) * span;
+            busy += span;
+        }
+        level += event.delta;
+        prev = event.time;
+    }
+    ICFP_ASSERT(level == 0);
+
+    integral_ = static_cast<double>(area);
+    busy_ = busy;
+    finalized_ = true;
 }
 
 double
 MlpIntegrator::mlp() const
 {
-    unsigned __int128 area = 0;
-    Cycle busy = 0;
-    int64_t level = 0;
-    Cycle prev = 0;
-    for (const auto &[time, change] : delta_) {
-        if (level > 0) {
-            const Cycle span = time - prev;
-            area += static_cast<unsigned __int128>(level) * span;
-            busy += span;
-        }
-        level += change;
-        prev = time;
-    }
-    ICFP_ASSERT(level == 0);
-    if (busy == 0)
+    finalize();
+    if (busy_ == 0)
         return 0.0;
-    return static_cast<double>(area) / static_cast<double>(busy);
+    return integral_ / static_cast<double>(busy_);
 }
 
 Cycle
 MlpIntegrator::busyCycles() const
 {
-    Cycle busy = 0;
-    int64_t level = 0;
-    Cycle prev = 0;
-    for (const auto &[time, change] : delta_) {
-        if (level > 0)
-            busy += time - prev;
-        level += change;
-        prev = time;
-    }
-    return busy;
+    finalize();
+    return busy_;
 }
 
 void
 MlpIntegrator::reset()
 {
-    delta_.clear();
+    intervals_.clear();
     count_ = 0;
+    finalized_ = true;
+    integral_ = 0.0;
+    busy_ = 0;
 }
 
 double

@@ -9,7 +9,6 @@
 #define ICFP_COMMON_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -25,14 +24,25 @@ namespace icfp {
  * outstanding-miss count divided by the amount of time during which at
  * least one miss was outstanding.
  *
- * Intervals may be recorded in any order; finalization sweeps a difference
- * map. Recording is O(log n) per interval.
+ * Intervals may be recorded in any order; finalization sorts the
+ * endpoint events and sweeps them. Recording is an O(1) append (this
+ * sits on the per-miss replay path — the prior difference-map version's
+ * node allocation per interval was a measurable slice of miss-heavy
+ * benchmarks), and the sweep runs once per run, lazily, at readout.
  */
 class MlpIntegrator
 {
   public:
     /** Record one outstanding interval [start, end). Zero-length ignored. */
-    void record(Cycle start, Cycle end);
+    void
+    record(Cycle start, Cycle end)
+    {
+        if (start >= end)
+            return;
+        intervals_.push_back({start, end});
+        ++count_;
+        finalized_ = false;
+    }
 
     /** Number of intervals recorded so far. */
     uint64_t count() const { return count_; }
@@ -47,8 +57,21 @@ class MlpIntegrator
     void reset();
 
   private:
-    std::map<Cycle, int64_t> delta_;
+    struct Interval
+    {
+        Cycle start;
+        Cycle end;
+    };
+
+    /** Sort-and-sweep the recorded intervals into the cached totals. */
+    void finalize() const;
+
+    std::vector<Interval> intervals_;
     uint64_t count_ = 0;
+
+    mutable bool finalized_ = true;
+    mutable double integral_ = 0.0; ///< sum of overlap × time
+    mutable Cycle busy_ = 0;        ///< cycles with >= 1 outstanding
 };
 
 /** A simple fixed-bucket histogram for small non-negative samples. */

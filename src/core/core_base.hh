@@ -120,7 +120,7 @@ class SimpleStoreBuffer
 
     /** Retire entries whose stores have completed, writing @p mem. */
     void
-    drain(Cycle now, MemoryImage *mem)
+    drain(Cycle now, MemOverlay *mem)
     {
         while (!queue_.empty() && queue_.front().doneAt <= now) {
             mem->write(queue_.front().addr, queue_.front().value);
@@ -137,7 +137,7 @@ class SimpleStoreBuffer
 
     /** Flush everything into @p mem (end of run). */
     void
-    flush(MemoryImage *mem)
+    flush(MemOverlay *mem)
     {
         for (const Entry &entry : queue_)
             mem->write(entry.addr, entry.value);

@@ -33,8 +33,6 @@
 #ifndef ICFP_ICFP_ICFP_CORE_HH
 #define ICFP_ICFP_ICFP_CORE_HH
 
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -62,14 +60,29 @@ class ICfpCore : public CoreBase
 
   private:
     // --- per-cycle phases -------------------------------------------------
-    void processMissReturns();
-    void processExternalStores();
+    /** @return true if any pending miss returned this cycle */
+    bool processMissReturns();
+    /** @return true if any external store was processed this cycle */
+    bool processExternalStores();
     /** @return true if rally made progress this cycle */
     bool rallyTick();
     void tailTick();
     void simpleRunaheadTick();
     void drainTick();
     void maybeEndEpoch();
+
+    /**
+     * Idle-cycle fast-forward: given that this cycle did nothing (every
+     * phase reported no activity), the machine state is frozen until some
+     * time-driven event — a miss return, an external store, a stalled
+     * source becoming ready, a drain-miss slot freeing, a blocked rally's
+     * fill. Returns the earliest cycle at which anything could happen, so
+     * the run loop can jump straight there instead of polling every
+     * intermediate cycle. Must never be later than the true next event
+     * (early wake-ups are merely wasted polls); cycle_ + 1 disables the
+     * skip for states where no sound bound is known.
+     */
+    Cycle nextEventCycle() const;
 
     // --- tail helpers ------------------------------------------------------
     /** Source poison union from RF0. */
@@ -109,25 +122,18 @@ class ICfpCore : public CoreBase
     const Trace *trace_ = nullptr;
     size_t traceLen_ = 0;
 
-    MemoryImage memImage_;
+    MemOverlay memImage_;
     RegisterFile rf0_; ///< main register file (checkpointed)
 
-    /**
-     * Slice-internal value delivery, modeling the scratch register file
-     * (RF1, the borrowed thread context) plus the bypass network: each
-     * resolved slice instruction's result, keyed by its sequence number,
-     * with the cycle it becomes available. Consumers recorded their
-     * producers' sequence numbers at slice insertion, so WAW clobbering
-     * of a shared architectural register between rally passes — which
-     * hardware covers with the bypass network — cannot mis-deliver here.
-     * Bounded by the slice buffer capacity per epoch; cleared with it.
-     */
-    struct ResolvedValue
-    {
-        RegVal value = 0;
-        Cycle readyAt = 0;
-    };
-    std::unordered_map<SeqNum, ResolvedValue> sliceValues_;
+    // Slice-internal value delivery models the scratch register file
+    // (RF1, the borrowed thread context) plus the bypass network.
+    // Consumers record their producers' sequence numbers at slice
+    // insertion; when a producer resolves, resolveEntry() broadcasts its
+    // value directly into the (younger, still-buffered) consumer entries
+    // — so WAW clobbering of a shared architectural register between
+    // rally passes cannot mis-deliver, and no per-epoch lookup table is
+    // needed at all (the former std::unordered_map<SeqNum, ...> was a
+    // measurable share of replay time on rally-heavy benchmarks).
 
     ChainedStoreBuffer csb_;
     SliceBuffer slice_;
@@ -160,12 +166,23 @@ class ICfpCore : public CoreBase
     std::array<PoisonMask, kNumRegs> sraPoison_{};
     std::array<Cycle, kNumRegs> sraReady_{};
 
-    // Store drain bookkeeping.
-    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
-        drainMisses_;
+    /**
+     * Completion times of outstanding drained store misses. Only the
+     * count (vs. maxDrainMisses) and the earliest expiry matter, so a
+     * flat unordered array beats a priority queue: expiry is a swap-pop
+     * sweep over at most maxDrainMisses (8) cache-resident entries, with
+     * no heap rebalancing on the per-cycle path.
+     */
+    std::vector<Cycle> drainMisses_;
 
     size_t nextExternalStore_ = 0;
     uint64_t signatureSquashes_ = 0;
+
+    // Idle-skip bookkeeping (see nextEventCycle()), valid within a cycle.
+    bool tailDidWork_ = false;  ///< tail issued/advanced this cycle
+    Cycle tailWake_ = 0;        ///< tail's next time-driven attempt cycle
+    bool drainDidWork_ = false; ///< a store drained this cycle
+    Cycle drainWake_ = 0;       ///< drain's next time-driven attempt cycle
 
     RunResult result_;
 };

@@ -35,17 +35,21 @@ struct SliceEntry
     bool active = true;      ///< false once successfully re-executed
 
     // Operand capture: a captured source was miss-independent when the
-    // entry was inserted (or became available during a later pass) and its
-    // value travels with the entry; an uncaptured source is produced by an
-    // older slice instruction — identified by its last-writer sequence
-    // number — and is delivered through the scratch register file / bypass
-    // network during rallies.
+    // entry was inserted (or was delivered by its producer's rally
+    // resolution) and its value travels with the entry; an uncaptured
+    // source is produced by an older, still-deferred slice instruction —
+    // identified by its last-writer sequence number — and is delivered
+    // through the scratch register file / bypass network the moment that
+    // producer resolves. A delivered value only becomes *usable* at its
+    // readyAt cycle (the producer's completion time on the bypass).
     bool src1Captured = false;
     bool src2Captured = false;
     RegVal src1Val = 0;
     RegVal src2Val = 0;
-    SeqNum src1Producer = 0; ///< producer seq of an uncaptured src1
-    SeqNum src2Producer = 0; ///< producer seq of an uncaptured src2
+    SeqNum src1Producer = 0;  ///< producer seq of an uncaptured src1
+    SeqNum src2Producer = 0;  ///< producer seq of an uncaptured src2
+    Cycle src1ReadyAt = 0;    ///< when a delivered src1 value is usable
+    Cycle src2ReadyAt = 0;    ///< when a delivered src2 value is usable
 
     Ssn storeSsn = 0;            ///< for stores: the SB entry to resolve
     BranchPrediction pred{};     ///< for control: fetch-time prediction
@@ -136,6 +140,39 @@ class SliceBuffer
         if (lo < entries_.size() && entries_[lo].seq == seq)
             return &entries_[lo];
         return nullptr;
+    }
+
+    /**
+     * Bypass delivery: broadcast a resolved producer's result into every
+     * still-active younger entry that recorded @p producer_seq as a
+     * source producer, capturing the value with its readiness cycle.
+     * The one delivery protocol shared by every core that re-executes
+     * slices (iCFP's non-blocking rallies, SLTP's blocking rally).
+     *
+     * @param pos the producer's absolute index (consumers are younger,
+     *            so the scan starts just past it)
+     */
+    void
+    deliverFrom(size_t pos, SeqNum producer_seq, RegVal value,
+                Cycle ready_at)
+    {
+        for (size_t i = pos + 1; i < entries_.size(); ++i) {
+            SliceEntry &consumer = entries_[i];
+            if (!consumer.active)
+                continue;
+            if (!consumer.src1Captured &&
+                consumer.src1Producer == producer_seq) {
+                consumer.src1Val = value;
+                consumer.src1ReadyAt = ready_at;
+                consumer.src1Captured = true;
+            }
+            if (!consumer.src2Captured &&
+                consumer.src2Producer == producer_seq) {
+                consumer.src2Val = value;
+                consumer.src2ReadyAt = ready_at;
+                consumer.src2Captured = true;
+            }
+        }
     }
 
     /** Drop everything (squash / epoch end). */

@@ -6,65 +6,6 @@
 
 namespace icfp {
 
-FuClass
-fuClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Shl:
-      case Opcode::Shr:
-      case Opcode::Addi:
-      case Opcode::Andi:
-        return FuClass::IntAlu;
-      case Opcode::Mul:
-        return FuClass::IntMul;
-      case Opcode::Fadd:
-        return FuClass::FpAdd;
-      case Opcode::Fmul:
-        return FuClass::FpMul;
-      case Opcode::Ld:
-      case Opcode::St:
-        return FuClass::Mem;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Jmp:
-      case Opcode::Call:
-      case Opcode::Ret:
-        return FuClass::Branch;
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return FuClass::None;
-    }
-    ICFP_PANIC("unknown opcode %d", static_cast<int>(op));
-}
-
-unsigned
-fuLatency(Opcode op)
-{
-    switch (fuClass(op)) {
-      case FuClass::IntAlu:
-        return 1;
-      case FuClass::IntMul:
-        return 4; // Table 1: 4-cycle int multiply
-      case FuClass::FpAdd:
-        return 2; // Table 1: 2-cycle fp-add
-      case FuClass::FpMul:
-        return 4; // Table 1: 4-cycle fp multiply
-      case FuClass::Mem:
-        return 1; // address generation; cache latency is added separately
-      case FuClass::Branch:
-        return 1;
-      case FuClass::None:
-        return 1;
-    }
-    return 1;
-}
-
 const char *
 opcodeName(Opcode op)
 {

@@ -16,6 +16,7 @@
 #ifndef ICFP_ISA_INSTRUCTION_HH
 #define ICFP_ISA_INSTRUCTION_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -67,6 +68,106 @@ enum class FuClass : uint8_t {
     None,   ///< Nop / Halt
 };
 
+/** Number of µISA opcodes (Halt is last). */
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::Halt) + 1;
+
+/**
+ * Per-opcode static traits, precomputed into one small table so the
+ * per-instruction replay hot path pays a single indexed load instead of
+ * a chain of comparisons (fuClass/fuLatency/isControl are consulted
+ * several times per replayed instruction by every core model).
+ */
+struct OpTraits
+{
+    FuClass fu = FuClass::None;
+    uint8_t latency = 1;       ///< FU execution latency, cycles
+    bool isLoad = false;
+    bool isStore = false;
+    bool isControl = false;    ///< any control transfer
+    bool isCondBranch = false; ///< outcome depends on register values
+};
+
+namespace detail {
+
+constexpr OpTraits
+makeOpTraits(Opcode op)
+{
+    OpTraits t;
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Addi:
+      case Opcode::Andi:
+        t.fu = FuClass::IntAlu;
+        t.latency = 1;
+        break;
+      case Opcode::Mul:
+        t.fu = FuClass::IntMul;
+        t.latency = 4; // Table 1: 4-cycle int multiply
+        break;
+      case Opcode::Fadd:
+        t.fu = FuClass::FpAdd;
+        t.latency = 2; // Table 1: 2-cycle fp-add
+        break;
+      case Opcode::Fmul:
+        t.fu = FuClass::FpMul;
+        t.latency = 4; // Table 1: 4-cycle fp multiply
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+        t.fu = FuClass::Mem;
+        t.latency = 1; // address generation; cache latency added separately
+        t.isLoad = op == Opcode::Ld;
+        t.isStore = op == Opcode::St;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        t.fu = FuClass::Branch;
+        t.latency = 1;
+        t.isControl = true;
+        t.isCondBranch =
+            op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
+        break;
+      case Opcode::Nop:
+      case Opcode::Halt:
+        t.fu = FuClass::None;
+        t.latency = 1;
+        break;
+    }
+    return t;
+}
+
+constexpr std::array<OpTraits, kNumOpcodes>
+makeOpTraitsTable()
+{
+    std::array<OpTraits, kNumOpcodes> table{};
+    for (unsigned i = 0; i < kNumOpcodes; ++i)
+        table[i] = makeOpTraits(static_cast<Opcode>(i));
+    return table;
+}
+
+} // namespace detail
+
+/** The per-opcode trait table (indexed by the opcode's numeric value). */
+inline constexpr std::array<OpTraits, kNumOpcodes> kOpTraits =
+    detail::makeOpTraitsTable();
+
+/** Traits of @p op. */
+inline const OpTraits &
+opTraits(Opcode op)
+{
+    return kOpTraits[static_cast<uint8_t>(op)];
+}
+
 /** One static µISA instruction. */
 struct Instruction
 {
@@ -77,29 +178,29 @@ struct Instruction
     int64_t imm = 0;      ///< immediate (Addi/Andi/Ld/St displacement)
     uint32_t target = 0;  ///< branch/jump/call target (instruction index)
 
-    bool isLoad() const { return op == Opcode::Ld; }
-    bool isStore() const { return op == Opcode::St; }
-    bool isMem() const { return isLoad() || isStore(); }
-    bool
-    isControl() const
-    {
-        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
-               op == Opcode::Jmp || op == Opcode::Call || op == Opcode::Ret;
-    }
+    bool isLoad() const { return opTraits(op).isLoad; }
+    bool isStore() const { return opTraits(op).isStore; }
+    bool isMem() const { return op == Opcode::Ld || op == Opcode::St; }
+    /** Any control transfer. */
+    bool isControl() const { return opTraits(op).isControl; }
     /** Conditional control (outcome depends on register values). */
-    bool
-    isCondBranch() const
-    {
-        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
-    }
+    bool isCondBranch() const { return opTraits(op).isCondBranch; }
     bool hasDst() const { return dst != kNoReg && dst != 0; }
 };
 
 /** Functional-unit class of @p op. */
-FuClass fuClass(Opcode op);
+inline FuClass
+fuClass(Opcode op)
+{
+    return opTraits(op).fu;
+}
 
 /** Execution latency, in cycles, of @p op on its FU (memory excluded). */
-unsigned fuLatency(Opcode op);
+inline unsigned
+fuLatency(Opcode op)
+{
+    return opTraits(op).latency;
+}
 
 /** Human-readable mnemonic. */
 const char *opcodeName(Opcode op);

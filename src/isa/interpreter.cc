@@ -1,8 +1,37 @@
 #include "isa/interpreter.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace icfp {
+
+namespace {
+
+/**
+ * Dirty-word list from the store addresses the run actually touched:
+ * sort + dedup the touched words and keep those whose final value
+ * differs from the initial image. O(stores log stores) — the full-image
+ * diff scan this replaces was the single largest trace-generation cost
+ * on benchmarks with multi-megabyte data segments.
+ */
+std::shared_ptr<const std::vector<Addr>>
+dirtyFromTouched(std::vector<Addr> touched, const MemoryImage &initial,
+                 const MemoryImage &final_image)
+{
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    std::vector<Addr> dirty;
+    dirty.reserve(touched.size());
+    for (const Addr addr : touched) {
+        if (initial.read(addr) != final_image.read(addr))
+            dirty.push_back(addr);
+    }
+    return std::make_shared<const std::vector<Addr>>(std::move(dirty));
+}
+
+} // namespace
 
 RegVal
 Interpreter::evaluate(Opcode op, RegVal a, RegVal b, int64_t imm)
@@ -40,13 +69,29 @@ Interpreter::branchTaken(Opcode op, RegVal a, RegVal b)
 Trace
 Interpreter::run(const Program &program, uint64_t max_insts)
 {
+    return run(std::make_shared<Program>(program), max_insts);
+}
+
+Trace
+Interpreter::run(std::shared_ptr<const Program> program_ptr,
+                 uint64_t max_insts)
+{
+    const Program &program = *program_ptr;
     Trace trace;
-    trace.program = std::make_shared<Program>(program);
-    trace.insts.reserve(max_insts);
+    trace.program = std::move(program_ptr);
+    // Pre-size: the emit loop below appends at most max_insts records,
+    // so for any realistic budget the vector never reallocates mid-run
+    // (on 10M+ instruction budgets repeated growth would copy the whole
+    // trace several times over). Clamped so an absurd budget over a
+    // short halting program cannot demand terabytes up front; past the
+    // clamp, normal amortized growth takes over.
+    constexpr uint64_t kMaxUpfrontReserve = uint64_t{1} << 25;
+    trace.insts.reserve(std::min(max_insts, kMaxUpfrontReserve));
     trace.finalMemory = program.initialMemory;
 
     RegFileState regs{};
     MemoryImage &mem = trace.finalMemory;
+    std::vector<Addr> touched; ///< store targets, for the dirty-word list
 
     uint32_t pc = 0;
     const auto code_size = static_cast<uint32_t>(program.code.size());
@@ -55,7 +100,9 @@ Interpreter::run(const Program &program, uint64_t max_insts)
         ICFP_ASSERT(pc < code_size);
         const Instruction &si = program.code[pc];
 
-        DynInst di;
+        // Single-pass emit: construct the record in its final slot
+        // (reserved above) instead of filling a local and copying it in.
+        DynInst &di = trace.insts.emplace_back();
         di.pc = pc;
         di.op = si.op;
         di.dst = si.dst;
@@ -72,54 +119,59 @@ Interpreter::run(const Program &program, uint64_t max_insts)
             break;
           case Opcode::Halt:
             di.nextPc = pc;
-            trace.insts.push_back(di);
             trace.halted = true;
             trace.finalRegs = regs;
+            trace.dirtyWords = dirtyFromTouched(
+                std::move(touched), program.initialMemory,
+                trace.finalMemory);
             return trace;
           case Opcode::Ld:
             di.addr = mem.wrap(a + static_cast<RegVal>(si.imm));
-            di.result = mem.read(di.addr);
+            di.value = mem.read(di.addr);
             break;
           case Opcode::St:
             di.addr = mem.wrap(a + static_cast<RegVal>(si.imm));
-            di.storeValue = b;
+            di.value = b;
             mem.write(di.addr, b);
+            touched.push_back(di.addr);
             break;
           case Opcode::Beq:
           case Opcode::Bne:
           case Opcode::Blt:
-            di.taken = branchTaken(si.op, a, b);
-            if (di.taken)
+            di.setTaken(branchTaken(si.op, a, b));
+            if (di.taken())
                 next_pc = si.target;
             break;
           case Opcode::Jmp:
-            di.taken = true;
+            di.setTaken(true);
             next_pc = si.target;
             break;
           case Opcode::Call:
-            di.taken = true;
-            di.result = pc + 1;
+            di.setTaken(true);
+            di.value = pc + 1;
             next_pc = si.target;
             break;
           case Opcode::Ret:
-            di.taken = true;
+            di.setTaken(true);
             next_pc = static_cast<uint32_t>(a);
             ICFP_ASSERT(next_pc < code_size);
             break;
           default:
-            di.result = evaluate(si.op, a, b, si.imm);
+            di.value = evaluate(si.op, a, b, si.imm);
             break;
         }
 
         if (si.hasDst())
-            regs[si.dst] = di.result;
+            regs[si.dst] = di.value;
 
         di.nextPc = next_pc;
-        trace.insts.push_back(di);
         pc = next_pc;
     }
 
     trace.finalRegs = regs;
+    trace.dirtyWords = dirtyFromTouched(std::move(touched),
+                                        program.initialMemory,
+                                        trace.finalMemory);
     return trace;
 }
 

@@ -25,38 +25,57 @@
 
 namespace icfp {
 
-/** One retired dynamic instruction, fully resolved. */
+/**
+ * One retired dynamic instruction, fully resolved.
+ *
+ * Replay streams hundreds of millions of these through the timing cores,
+ * so the layout is packed to exactly 32 bytes (two per cache line): the
+ * result and store value share one field (an instruction never has both —
+ * stores write no register), and the taken bit lives in a flags byte.
+ * Keep trace_io's kTraceIoFormatVersion in lockstep with any change here.
+ */
 struct DynInst
 {
-    uint32_t pc = 0;       ///< static instruction index
-    uint32_t nextPc = 0;   ///< index of the next retired instruction
+    Addr addr = 0;       ///< effective address (Ld/St only), wrapped
+    /** Value produced: the dst write (Ld: the loaded value; Call: the
+     *  link value) — or, for St (which has no dst), the value stored. */
+    RegVal value = 0;
+    uint32_t pc = 0;     ///< static instruction index
+    uint32_t nextPc = 0; ///< index of the next retired instruction
     Opcode op = Opcode::Nop;
     RegId dst = kNoReg;
     RegId src1 = kNoReg;
     RegId src2 = kNoReg;
-    Addr addr = 0;         ///< effective address (Ld/St only), wrapped
-    RegVal result = 0;     ///< value written to dst (Ld: the loaded value)
-    RegVal storeValue = 0; ///< value stored (St only)
-    bool taken = false;    ///< control transferred away from pc+1
+    uint8_t flags = 0;   ///< kFlagTaken
+
+    static constexpr uint8_t kFlagTaken = 1u << 0;
+
+    /** Value written to dst (Ld: the loaded value). */
+    RegVal result() const { return value; }
+    /** Value stored (St only). */
+    RegVal storeValue() const { return value; }
+    /** Control transferred away from pc+1. */
+    bool taken() const { return (flags & kFlagTaken) != 0; }
+    void
+    setTaken(bool taken)
+    {
+        flags = taken ? static_cast<uint8_t>(flags | kFlagTaken)
+                      : static_cast<uint8_t>(flags & ~kFlagTaken);
+    }
 
     bool isLoad() const { return op == Opcode::Ld; }
     bool isStore() const { return op == Opcode::St; }
-    bool isMem() const { return isLoad() || isStore(); }
-    bool
-    isControl() const
-    {
-        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt ||
-               op == Opcode::Jmp || op == Opcode::Call || op == Opcode::Ret;
-    }
-    bool
-    isCondBranch() const
-    {
-        return op == Opcode::Beq || op == Opcode::Bne || op == Opcode::Blt;
-    }
+    bool isMem() const { return op == Opcode::Ld || op == Opcode::St; }
+    bool isControl() const { return opTraits(op).isControl; }
+    bool isCondBranch() const { return opTraits(op).isCondBranch; }
     /** Control whose target must come from the BTB/RAS (not the opcode). */
     bool isIndirect() const { return op == Opcode::Ret; }
     bool hasDst() const { return dst != kNoReg && dst != 0; }
 };
+
+static_assert(sizeof(DynInst) == 32,
+              "DynInst is replayed by the hundred million; keep it at two "
+              "per cache line (and bump kTraceIoFormatVersion on change)");
 
 /** Architectural register file snapshot. */
 using RegFileState = std::array<RegVal, kNumRegs>;
@@ -71,6 +90,19 @@ struct Trace
     RegFileState finalRegs{};
     MemoryImage finalMemory;
     bool halted = false; ///< reached Halt (vs. instruction budget)
+
+    /**
+     * Word addresses where finalMemory differs from the program's
+     * initial image (MemoryImage::diffWords). Computed once at trace
+     * generation / load and shared; lets replay verification check a
+     * MemOverlay in O(stored words) instead of comparing whole images.
+     * Null for hand-assembled traces — verifiers then fall back to the
+     * full-image scan.
+     */
+    std::shared_ptr<const std::vector<Addr>> dirtyWords;
+
+    /** The dirty-word list, or nullptr when not precomputed. */
+    const std::vector<Addr> *dirty() const { return dirtyWords.get(); }
 
     size_t size() const { return insts.size(); }
     const DynInst &operator[](size_t i) const { return insts[i]; }
@@ -89,6 +121,14 @@ class Interpreter
      * @return the complete trace
      */
     static Trace run(const Program &program, uint64_t max_insts);
+
+    /**
+     * Same, sharing ownership of an existing Program instead of copying
+     * it into the trace (the copy includes the whole initial data image,
+     * which dominates generation time for short instruction budgets).
+     */
+    static Trace run(std::shared_ptr<const Program> program,
+                     uint64_t max_insts);
 
     /**
      * Compute a single instruction's result value given its operands.

@@ -8,6 +8,7 @@
 #define ICFP_ISA_PROGRAM_HH
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.hh"
@@ -57,11 +58,79 @@ class MemoryImage
         words_[wrap(addr) / kWordBytes] = value;
     }
 
+    /** Raw word storage (bulk scans: trace I/O, image diffing). */
+    const std::vector<RegVal> &words() const { return words_; }
+
+    /**
+     * Word addresses at which @p other differs from this image (both
+     * must be the same size). Sorted ascending. One linear scan — meant
+     * to run once per golden trace, so replays can verify against the
+     * diff instead of comparing whole multi-megabyte images.
+     */
+    std::vector<Addr> diffWords(const MemoryImage &other) const;
+
     bool operator==(const MemoryImage &other) const = default;
 
   private:
     std::vector<RegVal> words_;
     Addr mask_ = 0;
+};
+
+/**
+ * Copy-on-write view over a base MemoryImage.
+ *
+ * Timing cores used to start every run by copying the benchmark's whole
+ * initial data image (up to tens of megabytes) and end it by comparing
+ * their copy against the golden final image — a fixed cost that dwarfed
+ * actual replay work on short runs. The overlay keeps the base read-only
+ * and tracks only the words the core actually stores; verification
+ * checks the written words against the golden final image plus the
+ * trace's precomputed dirty-word list (Trace::dirtyWords), which is
+ * exactly as strong as the full-image compare.
+ */
+class MemOverlay
+{
+  public:
+    MemOverlay() = default;
+
+    explicit MemOverlay(const MemoryImage *base) { reset(base); }
+
+    /** Rebind to @p base and drop all overlay writes. */
+    void
+    reset(const MemoryImage *base)
+    {
+        base_ = base;
+        writes_.clear();
+    }
+
+    Addr wrap(Addr addr) const { return base_->wrap(addr); }
+
+    RegVal
+    read(Addr addr) const
+    {
+        const auto it = writes_.find(base_->wrap(addr));
+        return it != writes_.end() ? it->second : base_->read(addr);
+    }
+
+    void
+    write(Addr addr, RegVal value)
+    {
+        writes_[base_->wrap(addr)] = value;
+    }
+
+    /**
+     * Does this view (base + overlay writes) equal @p final_image?
+     *
+     * With @p dirty_words — the word addresses where the final image
+     * differs from the base (see MemoryImage::diffWords) — the check is
+     * O(written words). Without it, falls back to a full-image scan.
+     */
+    bool matchesFinal(const MemoryImage &final_image,
+                      const std::vector<Addr> *dirty_words) const;
+
+  private:
+    const MemoryImage *base_ = nullptr;
+    std::unordered_map<Addr, RegVal> writes_;
 };
 
 /** A static program: code plus initial data segment. */

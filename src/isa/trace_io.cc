@@ -1,9 +1,12 @@
 #include "isa/trace_io.hh"
 
 #include <cstdint>
+#include <cstring>
+#include <vector>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -11,19 +14,29 @@ namespace icfp {
 
 namespace {
 
-constexpr char kMagic[8] = {'I', 'C', 'F', 'P', 'T', 'R', 'C', '1'};
-constexpr char kProgMagic[8] = {'I', 'C', 'F', 'P', 'P', 'R', 'G', '1'};
+// Version 2: DynInst records carry one shared value field (result /
+// store value merged) and a flags byte instead of a bool — in lockstep
+// with kTraceIoFormatVersion and the packed in-memory layout.
+constexpr char kMagic[8] = {'I', 'C', 'F', 'P', 'T', 'R', 'C', '2'};
+constexpr char kProgMagic[8] = {'I', 'C', 'F', 'P', 'P', 'R', 'G', '2'};
 
-/** Explicit little-endian primitive writer. */
+/**
+ * Explicit little-endian primitive writer, buffered: primitives append
+ * to an in-memory buffer that is flushed to the stream once, at the end
+ * (per-byte ostream::put dominated serialization time for multi-million
+ * instruction traces).
+ */
 class Writer
 {
   public:
     explicit Writer(std::ostream &os) : os_(os) {}
 
+    ~Writer() { flush(); }
+
     void
     u8(uint8_t v)
     {
-        os_.put(static_cast<char>(v));
+        buffer_.push_back(static_cast<char>(v));
     }
 
     void
@@ -50,43 +63,82 @@ class Writer
     str(const std::string &s)
     {
         u32(static_cast<uint32_t>(s.size()));
-        os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+        buffer_.append(s);
+    }
+
+    void
+    raw(const void *data, size_t size)
+    {
+        buffer_.append(static_cast<const char *>(data), size);
+    }
+
+    void
+    flush()
+    {
+        if (buffer_.empty())
+            return;
+        os_.write(buffer_.data(),
+                  static_cast<std::streamsize>(buffer_.size()));
+        buffer_.clear();
     }
 
   private:
     std::ostream &os_;
+    std::string buffer_;
 };
 
-/** Explicit little-endian primitive reader; fatal on truncation. */
+/**
+ * Explicit little-endian primitive reader; fatal on truncation. The
+ * whole remaining stream is slurped into memory up front and decoded
+ * with bounds-checked cursor reads.
+ */
 class Reader
 {
   public:
-    explicit Reader(std::istream &is) : is_(is) {}
+    explicit Reader(std::istream &is)
+    {
+        // Read everything that remains (callers may have consumed a
+        // header already); decoders stop at their own counts, so any
+        // trailing bytes are simply never looked at.
+        std::string chunk(1u << 16, '\0');
+        while (is.read(chunk.data(),
+                       static_cast<std::streamsize>(chunk.size())) ||
+               is.gcount() > 0) {
+            bytes_.append(chunk.data(),
+                          static_cast<size_t>(is.gcount()));
+        }
+    }
 
     uint8_t
     u8()
     {
-        const int c = is_.get();
-        if (c == std::char_traits<char>::eof())
-            ICFP_FATAL("trace stream truncated");
-        return static_cast<uint8_t>(c);
+        need(1);
+        return static_cast<uint8_t>(bytes_[at_++]);
     }
 
     uint32_t
     u32()
     {
+        need(4);
         uint32_t v = 0;
         for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(u8()) << (8 * i);
+            v |= static_cast<uint32_t>(
+                     static_cast<uint8_t>(bytes_[at_ + i]))
+                 << (8 * i);
+        at_ += 4;
         return v;
     }
 
     uint64_t
     u64()
     {
+        need(8);
         uint64_t v = 0;
         for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(u8()) << (8 * i);
+            v |= static_cast<uint64_t>(
+                     static_cast<uint8_t>(bytes_[at_ + i]))
+                 << (8 * i);
+        at_ += 8;
         return v;
     }
 
@@ -102,15 +154,22 @@ class Reader
         const uint32_t len = u32();
         if (len > (1u << 20))
             ICFP_FATAL("trace stream corrupt: oversized string");
-        std::string s(len, '\0');
-        is_.read(s.data(), len);
-        if (static_cast<uint32_t>(is_.gcount()) != len)
-            ICFP_FATAL("trace stream truncated");
+        need(len);
+        std::string s = bytes_.substr(at_, len);
+        at_ += len;
         return s;
     }
 
   private:
-    std::istream &is_;
+    void
+    need(size_t n)
+    {
+        if (at_ + n > bytes_.size())
+            ICFP_FATAL("trace stream truncated");
+    }
+
+    std::string bytes_;
+    size_t at_ = 0;
 };
 
 void
@@ -193,7 +252,7 @@ void
 writeProgram(std::ostream &os, const Program &program)
 {
     Writer w(os);
-    os.write(kProgMagic, sizeof(kProgMagic));
+    w.raw(kProgMagic, sizeof(kProgMagic));
     writeProgramBody(w, program);
 }
 
@@ -210,7 +269,7 @@ writeTrace(std::ostream &os, const Trace &trace)
 {
     ICFP_ASSERT(trace.program != nullptr);
     Writer w(os);
-    os.write(kMagic, sizeof(kMagic));
+    w.raw(kMagic, sizeof(kMagic));
     writeProgramBody(w, *trace.program);
 
     w.u64(trace.insts.size());
@@ -222,14 +281,29 @@ writeTrace(std::ostream &os, const Trace &trace)
         w.u8(di.src1);
         w.u8(di.src2);
         w.u64(di.addr);
-        w.u64(di.result);
-        w.u64(di.storeValue);
-        w.u8(di.taken ? 1 : 0);
+        w.u64(di.value);
+        w.u8(di.flags);
     }
 
     for (RegVal v : trace.finalRegs)
         w.u64(v);
-    writeMemoryImage(w, trace.finalMemory);
+
+    // The final memory image is stored as a delta against the initial
+    // image (count + (addr, value) pairs): workload data segments run to
+    // tens of megabytes while a run touches a tiny fraction, so this
+    // halves file size and gives readTrace the dirty-word list for free.
+    std::vector<Addr> local_dirty;
+    const std::vector<Addr> *dirty = trace.dirty();
+    if (!dirty) {
+        local_dirty =
+            trace.program->initialMemory.diffWords(trace.finalMemory);
+        dirty = &local_dirty;
+    }
+    w.u64(dirty->size());
+    for (const Addr addr : *dirty) {
+        w.u64(addr);
+        w.u64(trace.finalMemory.read(addr));
+    }
     w.u8(trace.halted ? 1 : 0);
 }
 
@@ -247,7 +321,7 @@ readTrace(std::istream &is)
         ICFP_FATAL("trace stream corrupt: oversized trace");
     trace.insts.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
-        DynInst di;
+        DynInst &di = trace.insts.emplace_back();
         di.pc = r.u32();
         di.nextPc = r.u32();
         const uint8_t op = r.u8();
@@ -258,15 +332,32 @@ readTrace(std::istream &is)
         di.src1 = r.u8();
         di.src2 = r.u8();
         di.addr = r.u64();
-        di.result = r.u64();
-        di.storeValue = r.u64();
-        di.taken = r.u8() != 0;
-        trace.insts.push_back(di);
+        di.value = r.u64();
+        di.flags = r.u8();
     }
 
     for (RegVal &v : trace.finalRegs)
         v = r.u64();
-    trace.finalMemory = readMemoryImage(r);
+
+    // Reconstruct the final image from the initial image + dirty deltas.
+    trace.finalMemory = trace.program->initialMemory;
+    const uint64_t dirty_count = r.u64();
+    if (dirty_count > trace.finalMemory.sizeBytes() / kWordBytes)
+        ICFP_FATAL("trace stream corrupt: oversized memory delta");
+    std::vector<Addr> dirty;
+    dirty.reserve(dirty_count);
+    for (uint64_t i = 0; i < dirty_count; ++i) {
+        const Addr addr = r.u64();
+        const RegVal value = r.u64();
+        if (trace.finalMemory.wrap(addr) != addr)
+            ICFP_FATAL("trace stream corrupt: unaligned delta address");
+        if (trace.finalMemory.read(addr) == value)
+            ICFP_FATAL("trace stream corrupt: identity delta");
+        trace.finalMemory.write(addr, value);
+        dirty.push_back(addr);
+    }
+    trace.dirtyWords =
+        std::make_shared<const std::vector<Addr>>(std::move(dirty));
     trace.halted = r.u8() != 0;
     return trace;
 }

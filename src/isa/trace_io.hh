@@ -9,10 +9,11 @@
  * simple explicit little-endian stream with a magic/version header —
  * files are portable across hosts.
  *
- * Format (version 1):
- *   magic "ICFPTRC1"
+ * Format (version 2):
+ *   magic "ICFPTRC2"
  *   program: name, code (one record per instruction), data image
- *   dynamic instructions (count + packed records)
+ *   dynamic instructions (count + packed records: pc, nextPc, op,
+ *     dst/src1/src2, addr, value, flags)
  *   final register file, final memory image, halted flag
  */
 
@@ -29,13 +30,16 @@ namespace icfp {
 
 /**
  * Serialization format version. Must stay in lockstep with the trailing
- * digit of the "ICFPTRC1"/"ICFPPRG1" magics in trace_io.cc: bump both
+ * digit of the "ICFPTRC2"/"ICFPPRG2" magics in trace_io.cc: bump both
  * whenever the encoding changes (field added, reordered, or re-typed).
  * Consumers that persist traces (sim/trace_store.hh) embed this in
  * their cache keys so files in an old encoding are regenerated, never
  * parsed (readTrace is fatal on undecodable input).
+ *
+ * Version 2 packed the DynInst record (merged result/store value, flags
+ * byte) alongside the in-memory DynInst repack.
  */
-constexpr unsigned kTraceIoFormatVersion = 1;
+constexpr unsigned kTraceIoFormatVersion = 2;
 
 /** Serialize @p program to @p os. */
 void writeProgram(std::ostream &os, const Program &program);

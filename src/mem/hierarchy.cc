@@ -6,11 +6,10 @@ namespace icfp {
 
 MemHierarchy::MemHierarchy(const MemParams &params)
     : params_(params),
-      dcache_(std::make_unique<Cache>(params.dcache)),
-      l2_(std::make_unique<Cache>(params.l2)),
+      dcache_(params.dcache),
+      l2_(params.l2),
       memory_(params.memory),
-      prefetcher_(std::make_unique<StreamPrefetcher>(params.prefetcher,
-                                                     memory_)),
+      prefetcher_(params.prefetcher, memory_),
       mshrs_(params.mshrEntries, params.poisonBits)
 {
 }
@@ -21,7 +20,7 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
     MemAccessResult result;
 
     // --- D$ lookup ------------------------------------------------------
-    const CacheAccessResult d1 = dcache_->access(addr, now, is_write);
+    const CacheAccessResult d1 = dcache_.access(addr, now, is_write);
     switch (d1.outcome) {
       case CacheOutcome::Hit:
       case CacheOutcome::VictimHit:
@@ -33,7 +32,7 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
         result.level = MemLevel::DcacheInFlight;
         result.doneAt = std::max(d1.readyAt, now + params_.dcacheHitLatency);
         MshrResult mshr;
-        if (mshrs_.lookup(dcache_->lineAddr(addr), now, &mshr))
+        if (mshrs_.lookup(dcache_.lineAddr(addr), now, &mshr))
             result.poisonBit = mshr.poisonBit;
         ++stats_.dcacheMerges;
         return result;
@@ -43,7 +42,7 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
     }
 
     // --- MSHR merge check -------------------------------------------------
-    const Addr d_line = dcache_->lineAddr(addr);
+    const Addr d_line = dcache_.lineAddr(addr);
     {
         MshrResult mshr;
         if (mshrs_.lookup(d_line, now, &mshr)) {
@@ -73,7 +72,7 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
 
     // --- L2 lookup (after the D$ tag check) ------------------------------
     const Cycle l2_access = issue + params_.dcacheHitLatency;
-    const CacheAccessResult l2r = l2_->access(addr, l2_access, is_write);
+    const CacheAccessResult l2r = l2_.access(addr, l2_access, is_write);
     Cycle data_at;
     switch (l2r.outcome) {
       case CacheOutcome::Hit:
@@ -88,13 +87,13 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
       case CacheOutcome::Miss:
       default: {
         // Stream buffers are probed on the demand L2 miss.
-        const PrefetchHit pf = prefetcher_->demandMiss(addr, l2_access);
+        const PrefetchHit pf = prefetcher_.demandMiss(addr, l2_access);
         if (pf.hit) {
             result.level = MemLevel::Prefetch;
             ++stats_.prefetchHits;
             data_at = std::max(pf.readyAt, issue + params_.l2HitLatency);
             // Install in L2 as if a fill.
-            const CacheFillResult wb = l2_->fill(addr, data_at, l2_access);
+            const CacheFillResult wb = l2_.fill(addr, data_at, l2_access);
             if (wb.writeback)
                 memory_.writeback(data_at, params_.l2.lineBytes);
         } else {
@@ -105,7 +104,7 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
                 memory_.read(l2_access, params_.l2.lineBytes);
             data_at = resp.criticalChunkAt;
             const CacheFillResult wb =
-                l2_->fill(addr, resp.lineCompleteAt, l2_access);
+                l2_.fill(addr, resp.lineCompleteAt, l2_access);
             if (wb.writeback)
                 memory_.writeback(resp.lineCompleteAt,
                                   params_.l2.lineBytes);
@@ -117,15 +116,15 @@ MemHierarchy::accessImpl(Addr addr, Cycle now, bool is_write)
 
     // --- D$ fill ----------------------------------------------------------
     const CacheFillResult d_wb =
-        dcache_->fill(addr, data_at, issue, is_write);
+        dcache_.fill(addr, data_at, issue, is_write);
     if (d_wb.writeback) {
         // D$ victim writebacks go to the L2; model L2 as absorbing them
         // (write-back hit) unless the line is gone, in which case they
         // consume memory bandwidth.
-        if (!l2_->probe(d_wb.writebackAddr))
+        if (!l2_.probe(d_wb.writebackAddr))
             memory_.writeback(data_at, params_.dcache.lineBytes);
         else
-            l2_->access(d_wb.writebackAddr, data_at, true);
+            l2_.access(d_wb.writebackAddr, data_at, true);
     }
 
     // Allocate the MSHR covering the fill window.

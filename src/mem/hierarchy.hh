@@ -13,7 +13,6 @@
 #define ICFP_MEM_HIERARCHY_HH
 
 #include <cstdint>
-#include <memory>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -106,9 +105,9 @@ class MemHierarchy
     MemAccessResult store(Addr addr, Cycle now);
 
     /** Component access for scheme-specific behaviour (SLTP pinning...). */
-    Cache &dcache() { return *dcache_; }
-    Cache &l2cache() { return *l2_; }
-    StreamPrefetcher &prefetcher() { return *prefetcher_; }
+    Cache &dcache() { return dcache_; }
+    Cache &l2cache() { return l2_; }
+    StreamPrefetcher &prefetcher() { return prefetcher_; }
     MainMemory &memory() { return memory_; }
 
     const HierarchyStats &stats() const { return stats_; }
@@ -126,11 +125,12 @@ class MemHierarchy
     /** Common load/store machinery. */
     MemAccessResult accessImpl(Addr addr, Cycle now, bool is_write);
 
+    // Direct members (no indirection on the per-access path).
     MemParams params_;
-    std::unique_ptr<Cache> dcache_;
-    std::unique_ptr<Cache> l2_;
+    Cache dcache_;
+    Cache l2_;
     MainMemory memory_;
-    std::unique_ptr<StreamPrefetcher> prefetcher_;
+    StreamPrefetcher prefetcher_;
     MshrFile mshrs_;
     HierarchyStats stats_;
     MlpIntegrator dcacheMlp_;

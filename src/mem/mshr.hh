@@ -15,7 +15,7 @@
 #define ICFP_MEM_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -31,7 +31,15 @@ struct MshrResult
     unsigned poisonBit = 0;///< round-robin poison bit id for this MSHR
 };
 
-/** Bounded file of in-flight line fills, keyed by line address. */
+/**
+ * Bounded file of in-flight line fills, keyed by line address.
+ *
+ * Stored as a flat array: the file is at most 64 entries (Table 1) and
+ * is consulted on every memory access — sometimes repeatedly while a
+ * core waits for a free entry — so cache-resident linear scans beat the
+ * former hash map, whose full-map retirement walk on every call was a
+ * dominant cost on MSHR-saturating benchmarks (art).
+ */
 class MshrFile
 {
   public:
@@ -41,20 +49,24 @@ class MshrFile
      */
     MshrFile(unsigned num_entries, unsigned poison_bits)
         : numEntries_(num_entries), poisonBits_(poison_bits)
-    {}
+    {
+        inflight_.reserve(num_entries);
+    }
 
     /** Is a fill of @p line_addr already in flight at @p now? */
     bool
     lookup(Addr line_addr, Cycle now, MshrResult *out) const
     {
         retireBefore(now);
-        auto it = inflight_.find(line_addr);
-        if (it == inflight_.end())
-            return false;
-        out->merged = true;
-        out->fillAt = it->second.fillAt;
-        out->poisonBit = it->second.poisonBit;
-        return true;
+        for (const Entry &entry : inflight_) {
+            if (entry.line == line_addr) {
+                out->merged = true;
+                out->fillAt = entry.fillAt;
+                out->poisonBit = entry.poisonBit;
+                return true;
+            }
+        }
+        return false;
     }
 
     /**
@@ -71,10 +83,11 @@ class MshrFile
             return result;
         }
         Entry entry;
+        entry.line = line_addr;
         entry.fillAt = fill_at;
         entry.poisonBit = nextPoisonBit_;
         nextPoisonBit_ = (nextPoisonBit_ + 1) % poisonBits_;
-        inflight_.emplace(line_addr, entry);
+        inflight_.push_back(entry);
         result.allocated = true;
         result.fillAt = fill_at;
         result.poisonBit = entry.poisonBit;
@@ -86,7 +99,7 @@ class MshrFile
     earliestFill() const
     {
         Cycle earliest = kCycleNever;
-        for (const auto &[addr, entry] : inflight_)
+        for (const Entry &entry : inflight_)
             earliest = std::min(earliest, entry.fillAt);
         return earliest;
     }
@@ -106,23 +119,28 @@ class MshrFile
   private:
     struct Entry
     {
+        Addr line = 0;
         Cycle fillAt = 0;
         unsigned poisonBit = 0;
     };
 
-    /** Drop entries whose fills have completed. */
+    /** Drop entries whose fills have completed (order-free swap-pop;
+     *  entry order never affects results — lines are unique and every
+     *  query is a find/min/count). */
     void
     retireBefore(Cycle now) const
     {
-        for (auto it = inflight_.begin(); it != inflight_.end();) {
-            if (it->second.fillAt <= now)
-                it = inflight_.erase(it);
-            else
-                ++it;
+        for (size_t i = 0; i < inflight_.size();) {
+            if (inflight_[i].fillAt <= now) {
+                inflight_[i] = inflight_.back();
+                inflight_.pop_back();
+            } else {
+                ++i;
+            }
         }
     }
 
-    mutable std::unordered_map<Addr, Entry> inflight_;
+    mutable std::vector<Entry> inflight_;
     unsigned numEntries_;
     unsigned poisonBits_;
     unsigned nextPoisonBit_ = 0;

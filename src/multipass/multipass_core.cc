@@ -74,6 +74,7 @@ MultipassCore::advanceOne(const DynInst &di)
 {
     if (window_.size() >= mp_.instBufferEntries)
         return false; // instruction buffer full: the A-pipe stalls
+                      // (state-driven: the B-pipe must drain the window)
 
     const bool p1 = di.src1 != kNoReg && poison_[di.src1];
     const bool p2 = di.src2 != kNoReg && poison_[di.src2];
@@ -84,12 +85,16 @@ MultipassCore::advanceOne(const DynInst &di)
         ready = std::max(ready, aReady_[di.src1]);
     if (di.src2 != kNoReg && di.src2 != 0 && !p2)
         ready = std::max(ready, aReady_[di.src2]);
-    if (ready > cycle_)
+    if (ready > cycle_) {
+        aWake_ = ready;
         return false;
+    }
 
     const FuClass fu = poisoned ? FuClass::None : fuClass(di.op);
-    if (!slots_.available(fu))
+    if (!slots_.available(fu)) {
+        aWake_ = cycle_ + 1;
         return false;
+    }
 
     WinEntry entry;
     entry.resolved = !poisoned;
@@ -124,7 +129,7 @@ MultipassCore::advanceOne(const DynInst &di)
             break;
           }
           case Opcode::St:
-            fcache_.write(di.addr, di.storeValue, false);
+            fcache_.write(di.addr, di.storeValue(), false);
             break;
           case Opcode::Beq:
           case Opcode::Bne:
@@ -168,10 +173,10 @@ MultipassCore::advanceOne(const DynInst &di)
 }
 
 bool
-MultipassCore::commitOne(SimpleStoreBuffer *sb, MemoryImage *memory)
+MultipassCore::commitOne(SimpleStoreBuffer *sb, MemOverlay *memory)
 {
     if (window_.empty())
-        return false;
+        return false; // state-driven: the A-pipe must refill the window
     const WinEntry entry = window_.front();
     const DynInst &di = trace_->insts[bPos_];
 
@@ -183,8 +188,10 @@ MultipassCore::commitOne(SimpleStoreBuffer *sb, MemoryImage *memory)
             ready = std::max(ready, bReady_[di.src1]);
         if (di.src2 != kNoReg && di.src2 != 0)
             ready = std::max(ready, bReady_[di.src2]);
-        if (ready > cycle_)
+        if (ready > cycle_) {
+            bWake_ = ready;
             return false;
+        }
     }
 
     // The B-pipe is flea-flicker's dedicated second (architectural)
@@ -192,8 +199,10 @@ MultipassCore::commitOne(SimpleStoreBuffer *sb, MemoryImage *memory)
     // A-pipe's — that duplicated backend is exactly what Multipass pays
     // area for (Section 5.3).
     const FuClass fu = fuClass(di.op);
-    if (!bSlots_.available(fu))
+    if (!bSlots_.available(fu)) {
+        bWake_ = cycle_ + 1;
         return false;
+    }
 
     auto set_dst = [&](Cycle ready_at) {
         if (di.dst != kNoReg && di.dst != 0)
@@ -204,14 +213,14 @@ MultipassCore::commitOne(SimpleStoreBuffer *sb, MemoryImage *memory)
       case Opcode::Ld: {
         RegVal fwd;
         if (sb->forward(di.addr, &fwd)) {
-            ICFP_ASSERT(fwd == di.result);
+            ICFP_ASSERT(fwd == di.result());
             set_dst(cycle_ + mem_.params().dcacheHitLatency);
         } else if (entry.resolved) {
             // The A-pipe already executed it (forwarding cache or D$).
             set_dst(cycle_ + mem_.params().dcacheHitLatency);
         } else {
             const MemAccessResult r = mem_.load(di.addr, cycle_);
-            ICFP_ASSERT(memory->read(di.addr) == di.result);
+            ICFP_ASSERT(memory->read(di.addr) == di.result());
             set_dst(r.doneAt);
             // A long miss at the commit point starts another advance
             // pass with up-to-date register state.
@@ -223,11 +232,13 @@ MultipassCore::commitOne(SimpleStoreBuffer *sb, MemoryImage *memory)
       case Opcode::St: {
         if (sb->full()) {
             const Cycle free_at = std::max(sb->headFreeAt(), cycle_ + 1);
-            if (free_at > cycle_)
+            if (free_at > cycle_) {
+                bWake_ = free_at; // the head drain frees a slot then
                 return false;
+            }
         }
         const MemAccessResult r = mem_.store(di.addr, cycle_);
-        sb->push(di.addr, di.storeValue, r.doneAt);
+        sb->push(di.addr, di.storeValue(), r.doneAt);
         break;
       }
       case Opcode::Beq:
@@ -280,7 +291,7 @@ MultipassCore::run(const Trace &trace)
     result_.instructions = traceLen_;
 
     SimpleStoreBuffer sb(params_.storeBufferEntries);
-    MemoryImage memory = trace.program->initialMemory;
+    MemOverlay memory(&trace.program->initialMemory);
 
     size_t idx = 0;
     inEpisode_ = false;
@@ -295,8 +306,11 @@ MultipassCore::run(const Trace &trace)
         sb.drain(cycle_, &memory);
 
         if (inEpisode_) {
+            const bool resynced = resyncPending_;
             if (resyncPending_)
                 resyncAdvance();
+            Cycle wake = kCycleNever;
+            bool did_work = resynced;
 #ifdef ICFP_DEBUG_MP
             if (window_.empty()) ++dbgAStarved;
             else {
@@ -315,55 +329,94 @@ MultipassCore::run(const Trace &trace)
             // B-pipe (architectural, dedicated pipeline)...
             bSlots_.reset();
             while (bSlots_.used() < params_.issueWidth) {
-                if (!commitOne(&sb, &memory))
+                bWake_ = kCycleNever;
+                if (!commitOne(&sb, &memory)) {
+                    wake = std::min(wake, bWake_);
                     break;
+                }
+                did_work = true;
             }
+            if (bSlots_.used() >= params_.issueWidth)
+                wake = std::min(wake, cycle_ + 1);
             // ...then the A-pipe advances with the leftover slots.
-            if (!wrongPath_ && cycle_ >= fetchReadyAt_) {
+            if (wrongPath_) {
+                // State-driven: the B-pipe resolves the bad branch.
+            } else if (cycle_ < fetchReadyAt_) {
+                wake = std::min(wake, fetchReadyAt_);
+            } else {
                 while (frontier_ < traceLen_ &&
                        slots_.used() < params_.issueWidth) {
-                    if (!advanceOne(trace[frontier_]))
+                    aWake_ = kCycleNever;
+                    if (!advanceOne(trace[frontier_])) {
+                        wake = std::min(wake, aWake_);
                         break;
+                    }
+                    did_work = true;
                     if (wrongPath_ || cycle_ < fetchReadyAt_)
                         break;
                 }
+                if (slots_.used() >= params_.issueWidth)
+                    wake = std::min(wake, cycle_ + 1);
             }
             // The episode ends when the B-pipe has caught the frontier
             // after the triggering miss has returned AND no memory-class
             // data is still outstanding — ending mid-miss would forfeit
             // the lookahead, while lingering past the last miss would
             // just double the issue-bandwidth demand.
-            if (window_.empty() && cycle_ >= triggerReturnAt_) {
-                bool memory_idle = true;
-                const Cycle horizon = cycle_ + mem_.params().l2HitLatency;
-                for (int r = 1; r < kNumRegs && memory_idle; ++r)
-                    memory_idle = bReady_[r] <= horizon;
-                if (memory_idle) {
-                    idx = bPos_;
-                    exitEpisode();
+            if (window_.empty()) {
+                if (cycle_ < triggerReturnAt_) {
+                    wake = std::min(wake, triggerReturnAt_);
+                } else {
+                    Cycle max_ready = 0;
+                    for (int r = 1; r < kNumRegs; ++r)
+                        max_ready = std::max(max_ready, bReady_[r]);
+                    const Cycle horizon =
+                        cycle_ + mem_.params().l2HitLatency;
+                    if (max_ready <= horizon) {
+                        idx = bPos_;
+                        exitEpisode();
+                        did_work = true;
+                    } else {
+                        // With frozen state the idle test first passes
+                        // when the horizon reaches the latest bReady.
+                        wake = std::min(
+                            wake, max_ready - mem_.params().l2HitLatency);
+                    }
                 }
             }
-            ++cycle_;
+            if (did_work || wake == kCycleNever)
+                ++cycle_;
+            else
+                cycle_ = std::max(cycle_ + 1, wake);
             continue;
         }
 
         // ---- normal in-order execution -----------------------------------
+        Cycle wake = kCycleNever;
+        bool issued = false;
         while (idx < traceLen_ && slots_.used() < params_.issueWidth) {
             const DynInst &di = trace[idx];
-            if (cycle_ < fetchReadyAt_)
+            if (cycle_ < fetchReadyAt_) {
+                wake = fetchReadyAt_;
                 break;
-            if (srcReadyCycle(di) > cycle_)
+            }
+            const Cycle src_ready = srcReadyCycle(di);
+            if (src_ready > cycle_) {
+                wake = src_ready;
                 break;
+            }
             const FuClass fu = fuClass(di.op);
-            if (!slots_.available(fu))
+            if (!slots_.available(fu)) {
+                wake = cycle_ + 1;
                 break;
+            }
 
             bool entered = false;
             switch (di.op) {
               case Opcode::Ld: {
                 RegVal fwd;
                 if (sb.forward(di.addr, &fwd)) {
-                    ICFP_ASSERT(fwd == di.result);
+                    ICFP_ASSERT(fwd == di.result());
                     setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
                     break;
                 }
@@ -372,7 +425,7 @@ MultipassCore::run(const Trace &trace)
                     (mp_.trigger == AdvanceTrigger::AnyDcache &&
                      r.missedDcache()) ||
                     (mp_.trigger == AdvanceTrigger::L2Only && r.missedL2());
-                ICFP_ASSERT(memory.read(di.addr) == di.result);
+                ICFP_ASSERT(memory.read(di.addr) == di.result());
                 setDstReady(di, r.doneAt);
                 if (trig) {
                     // Un-block: buffer everything after the load and let
@@ -395,10 +448,11 @@ MultipassCore::run(const Trace &trace)
                     const Cycle free_at =
                         std::max(sb.headFreeAt(), cycle_ + 1);
                     fetchReadyAt_ = std::max(fetchReadyAt_, free_at);
+                    wake = fetchReadyAt_;
                     goto cycle_done;
                 }
                 const MemAccessResult r = mem_.store(di.addr, cycle_);
-                sb.push(di.addr, di.storeValue, r.doneAt);
+                sb.push(di.addr, di.storeValue(), r.doneAt);
                 break;
               }
               case Opcode::Beq:
@@ -423,16 +477,20 @@ MultipassCore::run(const Trace &trace)
 
             slots_.take(fu);
             ++idx;
+            issued = true;
             if (entered)
                 break;
         }
 
       cycle_done:
-        ++cycle_;
+        if (issued || wake == kCycleNever)
+            ++cycle_;
+        else
+            cycle_ = std::max(cycle_ + 1, wake);
     }
 
     sb.flush(&memory);
-    ICFP_ASSERT(memory == trace.finalMemory);
+    ICFP_ASSERT(memory.matchesFinal(trace.finalMemory, trace.dirty()));
 
     result_.cycles = cycle_;
     finishStats(&result_);

@@ -64,8 +64,16 @@ class MultipassCore : public CoreBase
 
     /** One A-pipe (advance) instruction; false = stop issuing. */
     bool advanceOne(const DynInst &di);
+
+    /** advanceOne()'s next time-driven attempt cycle when it returns
+     *  false (kCycleNever = state-driven; idle-skip bookkeeping). */
+    Cycle aWake_ = 0;
     /** One B-pipe (architectural re-execution) step; false = stall. */
-    bool commitOne(SimpleStoreBuffer *sb, MemoryImage *memory);
+    bool commitOne(SimpleStoreBuffer *sb, MemOverlay *memory);
+
+    /** commitOne()'s next time-driven attempt cycle when it returns
+     *  false (kCycleNever = state-driven; idle-skip bookkeeping). */
+    Cycle bWake_ = 0;
 
     MultipassParams mp_;
     RunaheadCache fcache_;

@@ -101,10 +101,10 @@ CfpCore::rallyExecute(const Trace &trace, Entry *entry)
     switch (di.op) {
       case Opcode::Ld:
         if (fwd_from != kNoProducer) {
-            ICFP_ASSERT(trace[fwd_from].storeValue == di.result);
+            ICFP_ASSERT(trace[fwd_from].storeValue() == di.result());
             done = cycle_ + mem_.params().dcacheHitLatency;
         } else if (RegVal fwd; postCommitSb_.forward(di.addr, &fwd)) {
-            ICFP_ASSERT(fwd == di.result);
+            ICFP_ASSERT(fwd == di.result());
             done = cycle_ + mem_.params().dcacheHitLatency;
         } else {
             const MemAccessResult r = mem_.load(di.addr, cycle_);
@@ -151,7 +151,7 @@ CfpCore::rallyExecute(const Trace &trace, Entry *entry)
 }
 
 void
-CfpCore::drainStores(const Trace &trace, MemoryImage *memory)
+CfpCore::drainStores(const Trace &trace, MemOverlay *memory)
 {
     postCommitSb_.drain(cycle_, memory);
     unsigned drained = 0;
@@ -163,7 +163,7 @@ CfpCore::drainStores(const Trace &trace, MemoryImage *memory)
             break;
         const DynInst &di = trace[head.idx];
         const MemAccessResult r = mem_.store(di.addr, cycle_);
-        postCommitSb_.push(di.addr, di.storeValue, r.doneAt);
+        postCommitSb_.push(di.addr, di.storeValue(), r.doneAt);
         pendingStores_.pop_front();
         ++drained;
     }
@@ -190,7 +190,7 @@ CfpCore::run(const Trace &trace)
     result.instructions = trace.size();
 
     postCommitSb_ = SimpleStoreBuffer(params_.storeBufferEntries);
-    MemoryImage memory = trace.program->initialMemory;
+    MemOverlay memory(&trace.program->initialMemory);
 
     size_t fetchIdx = 0;
     size_t commitIdx = 0;
@@ -377,7 +377,7 @@ CfpCore::run(const Trace &trace)
     }
 
     postCommitSb_.flush(&memory);
-    ICFP_ASSERT(memory == trace.finalMemory);
+    ICFP_ASSERT(memory.matchesFinal(trace.finalMemory, trace.dirty()));
 
     result.cycles = cycle_;
     result.slicedInsts = slicedInsts_;

@@ -76,7 +76,7 @@ class CfpCore : public OooCore
     void rallyExecute(const Trace &trace, Entry *entry);
 
     /** Program-order store drain into the post-commit store buffer. */
-    void drainStores(const Trace &trace, MemoryImage *memory);
+    void drainStores(const Trace &trace, MemOverlay *memory);
 
     CfpParams cfp_;
 

@@ -69,12 +69,12 @@ OooCore::executeEntry(const Trace &trace, Entry *entry)
         if (entry->forwardFrom != kNoProducer) {
             // Store-queue forwarding: D$-hit latency once the data is
             // ready (issue already waited for the producer store).
-            ICFP_ASSERT(trace[entry->forwardFrom].storeValue == di.result);
+            ICFP_ASSERT(trace[entry->forwardFrom].storeValue() == di.result());
             done = cycle_ + mem_.params().dcacheHitLatency;
         } else if (RegVal fwd; postCommitSb_.forward(di.addr, &fwd)) {
             // The producing store committed but its line has not been
             // written yet; the post-commit buffer forwards.
-            ICFP_ASSERT(fwd == di.result);
+            ICFP_ASSERT(fwd == di.result());
             done = cycle_ + mem_.params().dcacheHitLatency;
         } else {
             done = mem_.load(di.addr, cycle_).doneAt;
@@ -117,7 +117,7 @@ OooCore::run(const Trace &trace)
     result.instructions = trace.size();
 
     postCommitSb_ = SimpleStoreBuffer(params_.storeBufferEntries);
-    MemoryImage memory = trace.program->initialMemory;
+    MemOverlay memory(&trace.program->initialMemory);
 
     size_t fetchIdx = 0;   // next trace instruction to dispatch
     size_t commitIdx = 0;  // next trace instruction to commit
@@ -137,7 +137,7 @@ OooCore::run(const Trace &trace)
                 if (postCommitSb_.full())
                     break; // retire stalls until the store buffer frees
                 const MemAccessResult r = mem_.store(di.addr, cycle_);
-                postCommitSb_.push(di.addr, di.storeValue, r.doneAt);
+                postCommitSb_.push(di.addr, di.storeValue(), r.doneAt);
                 ICFP_ASSERT(!storeQueue_.empty() &&
                             storeQueue_.front() == head.idx);
                 storeQueue_.pop_front();
@@ -232,7 +232,7 @@ OooCore::run(const Trace &trace)
     }
 
     postCommitSb_.flush(&memory);
-    ICFP_ASSERT(memory == trace.finalMemory);
+    ICFP_ASSERT(memory.matchesFinal(trace.finalMemory, trace.dirty()));
 
     result.cycles = cycle_;
     finishStats(&result);

@@ -60,12 +60,16 @@ RunaheadCore::advanceOne(const DynInst &di)
         ready = std::max(ready, raReady_[di.src1]);
     if (di.src2 != kNoReg && di.src2 != 0 && !p2)
         ready = std::max(ready, raReady_[di.src2]);
-    if (ready > cycle_)
+    if (ready > cycle_) {
+        raWake_ = ready;
         return false;
+    }
 
     const FuClass fu = poisoned ? FuClass::None : fuClass(di.op);
-    if (!slots_.available(fu))
+    if (!slots_.available(fu)) {
+        raWake_ = cycle_ + 1;
         return false;
+    }
 
     auto set_dst = [&](bool dst_poisoned, Cycle ready_at) {
         if (di.dst == kNoReg || di.dst == 0)
@@ -96,7 +100,7 @@ RunaheadCore::advanceOne(const DynInst &di)
             break;
           }
           case Opcode::St:
-            rcache_.write(di.addr, di.storeValue, false);
+            rcache_.write(di.addr, di.storeValue(), false);
             break;
           case Opcode::Beq:
           case Opcode::Bne:
@@ -154,7 +158,7 @@ RunaheadCore::run(const Trace &trace)
     result_.instructions = traceLen_;
 
     SimpleStoreBuffer sb(params_.storeBufferEntries);
-    MemoryImage memory = trace.program->initialMemory;
+    MemOverlay memory(&trace.program->initialMemory);
 
     size_t idx = 0;       // architectural (normal-mode) position
     size_t ra_idx = 0;    // advance position during an episode
@@ -172,37 +176,64 @@ RunaheadCore::run(const Trace &trace)
         }
 
         if (inRunahead_) {
-            if (!wrongPath_ && cycle_ >= fetchReadyAt_) {
+            // Idle-skip: the episode ends at triggerReturnAt_ no matter
+            // what; in between, the advance stream can only act at its
+            // own stall-release times.
+            Cycle wake = triggerReturnAt_;
+            bool advanced = false;
+            if (wrongPath_) {
+                // Nothing to do until the episode ends.
+            } else if (cycle_ < fetchReadyAt_) {
+                wake = std::min(wake, fetchReadyAt_);
+            } else {
                 while (ra_idx < traceLen_ &&
                        slots_.used() < params_.issueWidth) {
-                    if (!advanceOne(trace[ra_idx]))
+                    raWake_ = kCycleNever;
+                    if (!advanceOne(trace[ra_idx])) {
+                        wake = std::min(wake, raWake_);
                         break;
+                    }
+                    advanced = true;
                     ++ra_idx;
                     if (wrongPath_ || cycle_ < fetchReadyAt_)
                         break;
                 }
+                if (slots_.used() >= params_.issueWidth)
+                    wake = std::min(wake, cycle_ + 1);
             }
-            ++cycle_;
+            if (advanced || wake == kCycleNever)
+                ++cycle_;
+            else
+                cycle_ = std::max(cycle_ + 1, wake);
             continue;
         }
 
         // ---- normal in-order execution -----------------------------------
+        Cycle wake = kCycleNever;
+        bool issued = false;
         while (idx < traceLen_ && slots_.used() < params_.issueWidth) {
             const DynInst &di = trace[idx];
-            if (cycle_ < fetchReadyAt_)
+            if (cycle_ < fetchReadyAt_) {
+                wake = fetchReadyAt_;
                 break;
-            if (srcReadyCycle(di) > cycle_)
+            }
+            const Cycle src_ready = srcReadyCycle(di);
+            if (src_ready > cycle_) {
+                wake = src_ready;
                 break;
+            }
             const FuClass fu = fuClass(di.op);
-            if (!slots_.available(fu))
+            if (!slots_.available(fu)) {
+                wake = cycle_ + 1;
                 break;
+            }
 
             bool entered_ra = false;
             switch (di.op) {
               case Opcode::Ld: {
                 RegVal fwd;
                 if (sb.forward(di.addr, &fwd)) {
-                    ICFP_ASSERT(fwd == di.result);
+                    ICFP_ASSERT(fwd == di.result());
                     setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
                     break;
                 }
@@ -220,7 +251,7 @@ RunaheadCore::run(const Trace &trace)
                     }
                     entered_ra = true;
                 } else {
-                    ICFP_ASSERT(memory.read(di.addr) == di.result);
+                    ICFP_ASSERT(memory.read(di.addr) == di.result());
                     setDstReady(di, r.doneAt);
                 }
                 break;
@@ -230,10 +261,11 @@ RunaheadCore::run(const Trace &trace)
                     const Cycle free_at =
                         std::max(sb.headFreeAt(), cycle_ + 1);
                     fetchReadyAt_ = std::max(fetchReadyAt_, free_at);
+                    wake = fetchReadyAt_;
                     goto cycle_done;
                 }
                 const MemAccessResult r = mem_.store(di.addr, cycle_);
-                sb.push(di.addr, di.storeValue, r.doneAt);
+                sb.push(di.addr, di.storeValue(), r.doneAt);
                 break;
               }
               case Opcode::Beq:
@@ -257,17 +289,21 @@ RunaheadCore::run(const Trace &trace)
             }
 
             slots_.take(fu);
+            issued = true;
             if (entered_ra)
                 break; // the pipeline is in advance mode now
             ++idx;
         }
 
       cycle_done:
-        ++cycle_;
+        if (issued || wake == kCycleNever)
+            ++cycle_;
+        else
+            cycle_ = std::max(cycle_ + 1, wake);
     }
 
     sb.flush(&memory);
-    ICFP_ASSERT(memory == trace.finalMemory);
+    ICFP_ASSERT(memory.matchesFinal(trace.finalMemory, trace.dirty()));
 
     result_.cycles = cycle_;
     finishStats(&result_);

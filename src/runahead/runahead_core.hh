@@ -45,6 +45,10 @@ class RunaheadCore : public CoreBase
     /** One advance instruction; @return false to stop issuing. */
     bool advanceOne(const DynInst &di);
 
+    /** advanceOne()'s next time-driven attempt cycle when it returns
+     *  false (kCycleNever = state-driven; idle-skip bookkeeping). */
+    Cycle raWake_ = 0;
+
     RunaheadParams ra_;
     RunaheadCache rcache_;
 

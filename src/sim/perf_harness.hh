@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Simulator performance harness: measures host-side throughput of trace
+ * generation and per-core replay over the Figure 5 grid, the way RZBENCH
+ * treats low-level microbenchmarks — repeatable medians over warmed-up
+ * repetitions, reported in machine-readable form.
+ *
+ * This measures the *simulator*, not the simulated machine: the unit is
+ * simulated instructions retired per host second. The grid is the same
+ * (benchmark × scheme) grid bench_fig5_speedup runs, so the numbers are
+ * the direct multiplier on every sweep/shard in the repo.
+ *
+ * `icfp-sim perf` drives this and emits a BENCH_perf.json artifact:
+ *
+ * @code
+ *   icfp-sim perf --quick                       # seconds, trimmed grid
+ *   icfp-sim perf --out BENCH_perf.json         # full fig5 grid
+ *   icfp-sim perf --baseline OLD.json --out NEW.json   # records speedup
+ * @endcode
+ *
+ * Runs are strictly single-threaded (one case at a time) so the medians
+ * are not polluted by host-side contention between jobs.
+ */
+
+#ifndef ICFP_SIM_PERF_HARNESS_HH
+#define ICFP_SIM_PERF_HARNESS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icfp {
+
+/** What to measure. */
+struct PerfOptions
+{
+    /** Benchmarks to run; empty = the full fig5 suite (or the trimmed
+     *  quick subset when quick is set). */
+    std::vector<std::string> benches;
+    uint64_t insts = 100000; ///< dynamic instruction budget per benchmark
+    unsigned warmup = 1;     ///< untimed repetitions per case
+    unsigned reps = 3;       ///< timed repetitions per case (median-of-N)
+    bool quick = false;      ///< trimmed grid for CI smoke runs
+};
+
+/** One timed (bench × scheme) replay cell. */
+struct PerfCase
+{
+    std::string bench;
+    std::string scheme;
+    uint64_t insts = 0;      ///< simulated instructions replayed
+    uint64_t cycles = 0;     ///< simulated cycles (sanity/context)
+    double medianSeconds = 0.0;
+    double instsPerSec = 0.0;
+};
+
+/** Replay throughput aggregated over one scheme's column of the grid. */
+struct PerfSchemeStat
+{
+    std::string scheme;
+    uint64_t insts = 0;      ///< total instructions across benchmarks
+    double seconds = 0.0;    ///< sum of per-bench median seconds
+    double instsPerSec = 0.0;
+};
+
+/** The full measurement. */
+struct PerfReport
+{
+    uint64_t instsPerBench = 0;
+    unsigned warmup = 0;
+    unsigned reps = 0;
+    std::string grid;            ///< "fig5" or "fig5-quick"
+
+    // Trace generation (interpreter) throughput over all benchmarks.
+    uint64_t genInsts = 0;
+    double genSeconds = 0.0;     ///< sum of per-bench median seconds
+    double genInstsPerSec = 0.0;
+
+    std::vector<PerfCase> cases;         ///< grid order: bench-major
+    std::vector<PerfSchemeStat> schemes; ///< fig5 scheme order
+
+    // Replay aggregate over the whole grid (the headline number).
+    uint64_t replayInsts = 0;
+    double replaySeconds = 0.0;
+    double replayInstsPerSec = 0.0;
+};
+
+/** A prior report's headline numbers, for before/after comparison. */
+struct PerfBaseline
+{
+    double replayInstsPerSec = 0.0;
+    double genInstsPerSec = 0.0;
+    std::string source; ///< where the numbers came from (file path)
+};
+
+/** Run the measurement (single-threaded; wall-clock medians). */
+PerfReport runPerfHarness(const PerfOptions &options);
+
+/**
+ * Serialize @p report as the BENCH_perf.json artifact. When @p baseline
+ * is present, the artifact records both numbers side by side plus the
+ * speedup ratio current/baseline.
+ */
+std::string perfReportJson(const PerfReport &report,
+                           const std::optional<PerfBaseline> &baseline);
+
+/**
+ * Read the headline numbers back out of a BENCH_perf.json produced by
+ * perfReportJson() (the "replay"/"trace_gen" insts_per_sec fields).
+ * Returns std::nullopt (with a warning) on unreadable input.
+ */
+std::optional<PerfBaseline> readPerfBaseline(const std::string &path);
+
+} // namespace icfp
+
+#endif // ICFP_SIM_PERF_HARNESS_HH

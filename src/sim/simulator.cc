@@ -9,8 +9,11 @@ namespace icfp {
 Trace
 makeBenchTrace(const BenchmarkSpec &spec, uint64_t insts)
 {
-    const Program program = buildWorkload(spec.workload);
-    return Interpreter::run(program, insts);
+    // Build straight into shared ownership: the interpreter then hangs
+    // the program off the trace without re-copying the code and initial
+    // data image (the image copy, not execution, dominated short runs).
+    auto program = std::make_shared<Program>(buildWorkload(spec.workload));
+    return Interpreter::run(std::move(program), insts);
 }
 
 RunResult

@@ -52,7 +52,6 @@ SltpCore::endEpoch()
     inRally_ = false;
     wrongPath_ = false;
     pending_.clear();
-    sliceValues_.clear();
 }
 
 void
@@ -61,7 +60,6 @@ SltpCore::squash()
     ICFP_ASSERT(inEpoch_);
     rf0_.restore();
     slice_.clear();
-    sliceValues_.clear();
     pending_.clear();
     while (!srl_.empty() && srl_.back().seq >= chkIdx_)
         srl_.pop_back();
@@ -97,7 +95,7 @@ SltpCore::tailLoad(const DynInst &di)
     const SeqNum seq = tailIdx_;
     if (const SrlEntry *st = srlSearch(di.addr, seq)) {
         if (!st->poisoned) {
-            ICFP_ASSERT(st->value == di.result);
+            ICFP_ASSERT(st->value == di.result());
             rf0_.write(di.dst, st->value, seq);
             setDstReady(di, cycle_ + mem_.params().dcacheHitLatency);
             return true;
@@ -105,8 +103,10 @@ SltpCore::tailLoad(const DynInst &di)
         // Poison propagates from the miss-dependent store (idealized
         // dependence prediction).
         ICFP_ASSERT(inEpoch_);
-        if (slice_.full())
+        if (slice_.full()) {
+            tailWake_ = cycle_ + 1;
             return false; // SLTP stalls; no fallback mode
+        }
         SliceEntry entry;
         entry.traceIdx = static_cast<uint32_t>(tailIdx_);
         entry.seq = seq;
@@ -138,8 +138,11 @@ SltpCore::tailLoad(const DynInst &di)
     }
 
     if (poison_it) {
-        if (slice_.full())
+        // Retrying re-runs the cache access, so no idle-skip here.
+        if (slice_.full()) {
+            tailWake_ = cycle_ + 1;
             return false;
+        }
         SliceEntry entry;
         entry.traceIdx = static_cast<uint32_t>(tailIdx_);
         entry.seq = seq;
@@ -156,18 +159,18 @@ SltpCore::tailLoad(const DynInst &di)
 
     const RegVal value = memImage_.read(di.addr);
 #ifdef ICFP_DEBUG_SLTP
-    if (value != di.result) {
+    if (value != di.result()) {
         std::fprintf(stderr,
             "SLTP MISMATCH tail=%zu pc=%u addr=%lx got=%lx want=%lx "
             "inEpoch=%d inRally=%d chk=%zu srl=%zu op=%d src1=%d\n",
-            tailIdx_, di.pc, di.addr, value, di.result, int(inEpoch_),
+            tailIdx_, di.pc, di.addr, value, di.result(), int(inEpoch_),
             int(inRally_), chkIdx_, srl_.size(), int(di.op), int(di.src1));
         for (const auto &e : srl_)
             std::fprintf(stderr, "  srl seq=%lu addr=%lx val=%lx p=%d\n",
                          e.seq, e.addr, e.value, int(e.poisoned));
     }
 #endif
-    ICFP_ASSERT(value == di.result);
+    ICFP_ASSERT(value == di.result());
     rf0_.write(di.dst, value, seq);
     setDstReady(di, r.doneAt);
     return true;
@@ -181,6 +184,7 @@ SltpCore::divertToSlice(const DynInst &di, PoisonMask poison)
 
     if (slice_.full() || (di.isStore() && srl_.size() >= sltp_.srlEntries))
         return false; // SLTP stalls when it runs out of buffering
+                      // (state-driven: only a rally frees space)
 
     SliceEntry entry;
     entry.traceIdx = static_cast<uint32_t>(tailIdx_);
@@ -242,10 +246,14 @@ SltpCore::tailIssueOne(const DynInst &di)
             ready = std::max(ready, regReady_[di.src1]);
         if (di.src2 != kNoReg && di.src2 != 0 && rf0_.poison(di.src2) == 0)
             ready = std::max(ready, regReady_[di.src2]);
-        if (ready > cycle_)
+        if (ready > cycle_) {
+            tailWake_ = ready;
             return false;
-        if (!slots_.available(FuClass::None))
+        }
+        if (!slots_.available(FuClass::None)) {
+            tailWake_ = cycle_ + 1;
             return false;
+        }
         if (!divertToSlice(di, poison))
             return false;
         slots_.take(FuClass::None);
@@ -254,11 +262,16 @@ SltpCore::tailIssueOne(const DynInst &di)
         return true;
     }
 
-    if (srcReadyCycle(di) > cycle_)
+    const Cycle src_ready = srcReadyCycle(di);
+    if (src_ready > cycle_) {
+        tailWake_ = src_ready;
         return false;
+    }
     const FuClass fu = fuClass(di.op);
-    if (!slots_.available(fu))
+    if (!slots_.available(fu)) {
+        tailWake_ = cycle_ + 1;
         return false;
+    }
 
     switch (di.op) {
       case Opcode::Ld:
@@ -267,10 +280,10 @@ SltpCore::tailIssueOne(const DynInst &di)
         break;
       case Opcode::St: {
         if (srl_.size() >= sltp_.srlEntries)
-            return false;
+            return false; // state-driven: only a rally frees SRL space
         SrlEntry entry;
         entry.addr = di.addr;
-        entry.value = di.storeValue;
+        entry.value = di.storeValue();
         entry.seq = tailIdx_;
         entry.poisoned = false;
         if (inEpoch_) {
@@ -291,7 +304,7 @@ SltpCore::tailIssueOne(const DynInst &di)
       case Opcode::Ret: {
         const BranchPrediction pred = bpred_.predict(di);
         if (di.op == Opcode::Call) {
-            rf0_.write(di.dst, di.result, tailIdx_);
+            rf0_.write(di.dst, di.result(), tailIdx_);
             setDstReady(di, cycle_ + 1);
         }
         resolveBranch(di, pred, cycle_);
@@ -301,7 +314,7 @@ SltpCore::tailIssueOne(const DynInst &di)
       case Opcode::Halt:
         break;
       default:
-        rf0_.write(di.dst, di.result, tailIdx_);
+        rf0_.write(di.dst, di.result(), tailIdx_);
         setDstReady(di, cycle_ + fuLatency(di.op));
         break;
     }
@@ -316,8 +329,12 @@ SltpCore::tailIssueOne(const DynInst &di)
 void
 SltpCore::rallyTick()
 {
-    if (cycle_ < rallyBlockedUntil_)
+    rallyDidWork_ = false;
+    rallyWake_ = kCycleNever;
+    if (cycle_ < rallyBlockedUntil_) {
+        rallyWake_ = rallyBlockedUntil_;
         return;
+    }
 
     // Program-order interleave of SRL drain and slice re-execution: the
     // SRL head drains when everything older has re-executed; a slice
@@ -331,14 +348,17 @@ SltpCore::rallyTick()
             mem_.store(head.addr, cycle_);
             memImage_.write(head.addr, head.value);
             srl_.pop_front();
+            rallyDidWork_ = true;
         }
     }
 
     // 2) Execute the oldest active slice entry if it precedes the SRL
     //    head (equal seq = the store's own SRL entry: execute first).
     if (slice_.noneActive()) {
-        if (srl_.empty())
+        if (srl_.empty()) {
             endEpoch();
+            rallyDidWork_ = true;
+        }
         return;
     }
     size_t pos = slice_.headIndex();
@@ -352,22 +372,18 @@ SltpCore::rallyTick()
     const DynInst &di = trace_->insts[entry.traceIdx];
     const Instruction &si = trace_->program->code[di.pc];
 
-    // Operand delivery (captured values or older slice producers).
-    if (!entry.src1Captured) {
-        const auto it = sliceValues_.find(entry.src1Producer);
-        ICFP_ASSERT(it != sliceValues_.end()); // in-order blocking rally
-        if (it->second.readyAt > cycle_)
-            return;
-        entry.src1Val = it->second.value;
-        entry.src1Captured = true;
+    // Operand delivery: insert-time captures travel with the entry, and
+    // publish() below delivers producer results straight into younger
+    // entries — the in-order blocking rally guarantees every producer
+    // resolved (and delivered) before its consumer executes.
+    ICFP_ASSERT(entry.src1Captured && entry.src2Captured);
+    if (entry.src1ReadyAt > cycle_) {
+        rallyWake_ = entry.src1ReadyAt;
+        return;
     }
-    if (!entry.src2Captured) {
-        const auto it = sliceValues_.find(entry.src2Producer);
-        ICFP_ASSERT(it != sliceValues_.end());
-        if (it->second.readyAt > cycle_)
-            return;
-        entry.src2Val = it->second.value;
-        entry.src2Captured = true;
+    if (entry.src2ReadyAt > cycle_) {
+        rallyWake_ = entry.src2ReadyAt;
+        return;
     }
 
     const RegVal a = entry.src1Val;
@@ -375,12 +391,13 @@ SltpCore::rallyTick()
 
     auto publish = [&](RegVal value, Cycle ready_at) {
         if (di.hasDst()) {
-            sliceValues_[entry.seq] = ResolvedValue{value, ready_at};
+            slice_.deliverFrom(pos, entry.seq, value, ready_at);
             if (rf0_.writeGated(di.dst, value, entry.seq))
                 regReady_[di.dst] = ready_at;
         }
         slice_.resolve(pos);
         ++result_.rallyInsts;
+        rallyDidWork_ = true;
     };
 
     switch (di.op) {
@@ -389,25 +406,28 @@ SltpCore::rallyTick()
         ICFP_ASSERT(addr == di.addr);
         if (const SrlEntry *st = srlSearch(addr, entry.seq)) {
             ICFP_ASSERT(!st->poisoned); // older slices resolved in order
-            ICFP_ASSERT(st->value == di.result);
+            ICFP_ASSERT(st->value == di.result());
             publish(st->value, cycle_ + mem_.params().dcacheHitLatency);
             return;
         }
         const MemAccessResult r = mem_.load(addr, cycle_);
         if (r.missedDcache()) {
-            // Blocking rally: stall right here until the fill.
+            // Blocking rally: stall right here until the fill. The
+            // access itself touched the hierarchy, so this cycle counts
+            // as active; subsequent cycles sleep until the fill.
             rallyBlockedUntil_ = r.doneAt;
+            rallyDidWork_ = true;
             return;
         }
         const RegVal value = memImage_.read(addr);
-        ICFP_ASSERT(value == di.result);
+        ICFP_ASSERT(value == di.result());
         publish(value, r.doneAt);
         return;
       }
       case Opcode::St: {
         // Fill in the SRL entry's value (it is the first poisoned entry
         // at or after the head with this seq).
-        ICFP_ASSERT(b == di.storeValue);
+        ICFP_ASSERT(b == di.storeValue());
         for (SrlEntry &srl_entry : srl_) {
             if (srl_entry.seq == entry.seq) {
                 srl_entry.value = b;
@@ -417,6 +437,7 @@ SltpCore::rallyTick()
         }
         slice_.resolve(pos);
         ++result_.rallyInsts;
+        rallyDidWork_ = true;
         return;
       }
       case Opcode::Beq:
@@ -427,6 +448,7 @@ SltpCore::rallyTick()
         bpred_.resolve(di, entry.pred);
         ++result_.rallyInsts;
         slice_.resolve(pos);
+        rallyDidWork_ = true;
         if (!correct) {
             // The blocking rally resolves strictly in order, so when a
             // poisoned branch turns out mispredicted everything older is
@@ -444,7 +466,7 @@ SltpCore::rallyTick()
       }
       default: {
         const RegVal value = Interpreter::evaluate(di.op, a, b, si.imm);
-        ICFP_ASSERT(value == di.result);
+        ICFP_ASSERT(value == di.result());
         publish(value, cycle_ + fuLatency(di.op));
         return;
       }
@@ -460,11 +482,10 @@ SltpCore::run(const Trace &trace)
     traceLen_ = trace.size();
     result_.instructions = traceLen_;
 
-    memImage_ = trace.program->initialMemory;
+    memImage_.reset(&trace.program->initialMemory);
     rf0_.clearAll();
     slice_.clear();
     srl_.clear();
-    sliceValues_.clear();
     pending_.clear();
     tailIdx_ = 0;
     inEpoch_ = false;
@@ -476,12 +497,19 @@ SltpCore::run(const Trace &trace)
         ICFP_ASSERT(cycle_ < kMaxRunCycles);
         slots_.reset();
 
-        if (inEpoch_ && !inRally_ && pending_.popReturned(cycle_) != 0)
+        bool did_work = false;
+        Cycle wake = kCycleNever;
+
+        if (inEpoch_ && !inRally_ && pending_.popReturned(cycle_) != 0) {
             beginRally();
+            did_work = true;
+        }
 
         if (inRally_) {
             // Tail stalls; the rally owns the pipeline.
             rallyTick();
+            did_work = did_work || rallyDidWork_;
+            wake = rallyWake_;
         } else {
             // Outside a rally, the SRL head may drain one store per cycle
             // as long as it is past the active checkpoint window.
@@ -493,27 +521,49 @@ SltpCore::run(const Trace &trace)
                     mem_.store(head.addr, cycle_);
                     memImage_.write(head.addr, head.value);
                     srl_.pop_front();
+                    did_work = true;
                 }
+                // An unsafe head is state-driven (a rally frees it).
             }
-            if (!wrongPath_ && cycle_ >= fetchReadyAt_) {
+            if (wrongPath_) {
+                // State-driven: the pending miss return starts the rally
+                // that verifies the bad branch.
+            } else if (cycle_ < fetchReadyAt_) {
+                wake = fetchReadyAt_;
+            } else {
                 while (tailIdx_ < traceLen_ &&
                        slots_.used() < params_.issueWidth) {
-                    if (!tailIssueOne(trace.insts[tailIdx_]))
+                    tailWake_ = kCycleNever;
+                    if (!tailIssueOne(trace.insts[tailIdx_])) {
+                        wake = std::min(wake, tailWake_);
                         break;
+                    }
+                    did_work = true;
                     if (wrongPath_ || cycle_ < fetchReadyAt_)
                         break;
                 }
+                if (slots_.used() >= params_.issueWidth)
+                    wake = std::min(wake, cycle_ + 1);
             }
+            // A pending miss return starts the next rally.
+            if (inEpoch_)
+                wake = std::min(wake, pending_.nextFillAt());
         }
 
-        ++cycle_;
+        // Idle-cycle fast-forward (exact: an idle cycle leaves no trace
+        // but the clock, so jumping to the next possible event preserves
+        // every cycle count and counter).
+        if (did_work || wake == kCycleNever)
+            ++cycle_;
+        else
+            cycle_ = std::max(cycle_ + 1, wake);
     }
 
     ICFP_ASSERT(!rf0_.anyPoisoned());
     const RegFileState final_regs = rf0_.values();
     for (int r = 1; r < kNumRegs; ++r)
         ICFP_ASSERT(final_regs[r] == trace.finalRegs[r]);
-    ICFP_ASSERT(memImage_ == trace.finalMemory);
+    ICFP_ASSERT(memImage_.matchesFinal(trace.finalMemory, trace.dirty()));
 
     result_.cycles = cycle_;
     finishStats(&result_);

@@ -28,7 +28,6 @@
 #define ICFP_SLTP_SLTP_CORE_HH
 
 #include <deque>
-#include <unordered_map>
 
 #include "core/core_base.hh"
 #include "core/register_file.hh"
@@ -58,12 +57,6 @@ class SltpCore : public CoreBase
         bool specWritten = false;///< also written (pinned) in the D$
     };
 
-    struct ResolvedValue
-    {
-        RegVal value = 0;
-        Cycle readyAt = 0;
-    };
-
     void enterEpoch(size_t miss_idx);
     void beginRally();
     void endEpoch();
@@ -82,12 +75,10 @@ class SltpCore : public CoreBase
     const Trace *trace_ = nullptr;
     size_t traceLen_ = 0;
 
-    MemoryImage memImage_;
+    MemOverlay memImage_;
     RegisterFile rf0_;
     SliceBuffer slice_;
     std::deque<SrlEntry> srl_;
-    std::unordered_map<SeqNum, ResolvedValue> sliceValues_;
-    std::unordered_map<SeqNum, size_t> srlIndexBySeq_; ///< store seq -> SRL pos
 
     size_t tailIdx_ = 0;
     bool inEpoch_ = false;
@@ -97,8 +88,12 @@ class SltpCore : public CoreBase
 
     PendingMissQueue pending_;
     Cycle rallyBlockedUntil_ = 0;
-    size_t rallySlicePos_ = 0; ///< absolute slice index during the rally
-    size_t rallySrlPos_ = 0;   ///< SRL drain position during the rally
+
+    // Idle-skip bookkeeping (valid within a cycle): next time-driven
+    // attempt cycle when a phase stalls, kCycleNever = state-driven.
+    Cycle tailWake_ = 0;
+    bool rallyDidWork_ = false;
+    Cycle rallyWake_ = 0;
 
     RunResult result_;
 };

@@ -42,12 +42,12 @@ SmtInOrderCore::issueOne(unsigned tid, ThreadContext *thread)
       case Opcode::Ld: {
         RegVal fwd;
         if (thread->sb->forward(taggedAddr(tid, di.addr), &fwd)) {
-            ICFP_ASSERT(fwd == di.result);
+            ICFP_ASSERT(fwd == di.result());
             set_dst(cycle_ + mem_.params().dcacheHitLatency);
         } else {
             const MemAccessResult r =
                 mem_.load(taggedAddr(tid, di.addr), cycle_);
-            ICFP_ASSERT(thread->memory.read(di.addr) == di.result);
+            ICFP_ASSERT(thread->memory.read(di.addr) == di.result());
             set_dst(r.doneAt);
         }
         break;
@@ -57,7 +57,7 @@ SmtInOrderCore::issueOne(unsigned tid, ThreadContext *thread)
             return false; // retry when the head entry drains
         const MemAccessResult r =
             mem_.store(taggedAddr(tid, di.addr), cycle_);
-        thread->sb->push(taggedAddr(tid, di.addr), di.storeValue,
+        thread->sb->push(taggedAddr(tid, di.addr), di.storeValue(),
                          r.doneAt);
         break;
       }
@@ -105,7 +105,7 @@ SmtInOrderCore::run(const Trace &t0, const Trace &t1)
         thread.bpred = std::make_unique<BranchUnit>(params_.bpred);
         thread.sb = std::make_unique<SimpleStoreBuffer>(
             params_.storeBufferEntries);
-        thread.memory = thread.trace->program->initialMemory;
+        thread.memory.reset(&thread.trace->program->initialMemory);
         thread.finishedAt = 0;
     }
 
@@ -144,7 +144,8 @@ SmtInOrderCore::run(const Trace &t0, const Trace &t1)
     for (unsigned tid = 0; tid < 2; ++tid) {
         ThreadContext &thread = threads_[tid];
         thread.sb->drain(kCycleNever - 1, &thread.memory);
-        ICFP_ASSERT(thread.memory == thread.trace->finalMemory);
+        ICFP_ASSERT(thread.memory.matchesFinal(thread.trace->finalMemory,
+                                               thread.trace->dirty()));
         result.instructions[tid] = thread.trace->size();
         result.finishedAt[tid] = thread.finishedAt;
     }

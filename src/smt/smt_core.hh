@@ -79,7 +79,7 @@ class SmtInOrderCore
         Cycle fetchReadyAt = 0;
         std::unique_ptr<BranchUnit> bpred;
         std::unique_ptr<SimpleStoreBuffer> sb;
-        MemoryImage memory;
+        MemOverlay memory;
         Cycle finishedAt = 0;
 
         bool done() const { return idx >= trace->size(); }

@@ -107,7 +107,7 @@ makeBranch(Opcode op, uint32_t pc, bool taken, uint32_t target)
     DynInst di;
     di.op = op;
     di.pc = pc;
-    di.taken = taken;
+    di.setTaken(taken);
     di.nextPc = taken ? target : pc + 1;
     return di;
 }
@@ -145,7 +145,7 @@ TEST(BranchUnit, RasPredictsReturns)
     BranchUnit bu;
     // call at pc 4 -> leaf 20; ret at pc 21 -> 5.
     DynInst call = makeBranch(Opcode::Call, 4, true, 20);
-    call.result = 5;
+    call.value = 5;
     DynInst ret = makeBranch(Opcode::Ret, 21, true, 5);
 
     BranchPrediction cp = bu.predict(call);

@@ -94,8 +94,8 @@ TEST(Interpreter, LoadStoreSemantics)
     EXPECT_EQ(t.finalRegs[3], 0x1234u);
     EXPECT_EQ(t.finalMemory.read(136), 0x1234u);
     EXPECT_EQ(t.insts[2].addr, 136u);
-    EXPECT_EQ(t.insts[2].storeValue, 0x1234u);
-    EXPECT_EQ(t.insts[3].result, 0x1234u);
+    EXPECT_EQ(t.insts[2].storeValue(), 0x1234u);
+    EXPECT_EQ(t.insts[3].result(), 0x1234u);
 }
 
 TEST(Interpreter, LoopExecutesExactly)
@@ -131,7 +131,7 @@ TEST(Interpreter, CallAndReturn)
     EXPECT_EQ(t.finalRegs[2], 16u);
     EXPECT_EQ(t.finalRegs[31], call_site + 1);
     // Call marks taken; Ret jumps back.
-    EXPECT_TRUE(t.insts[1].taken);
+    EXPECT_TRUE(t.insts[1].taken());
     EXPECT_EQ(t.insts[3].nextPc, call_site + 1);
 }
 
@@ -155,7 +155,7 @@ TEST(Interpreter, TraceRecordsBranchOutcomes)
     b.halt();
     b.nop();
     const Trace t = Interpreter::run(b.build(), 10);
-    EXPECT_FALSE(t.insts[1].taken);
+    EXPECT_FALSE(t.insts[1].taken());
     EXPECT_EQ(t.insts[1].nextPc, 2u);
 }
 

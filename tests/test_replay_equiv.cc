@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Replay-equivalence suite for the packed DynInst layout and the
+ * overlay-based replay pipeline.
+ *
+ * The hot-path overhaul repacked DynInst to 32 bytes (merged
+ * result/store-value field, flags byte), re-encoded traces (trace_io
+ * format v2 with a delta-compressed final image), replaced per-run
+ * memory-image copies with MemOverlay views, and added idle-cycle
+ * fast-forwarding to every core's run loop. None of that may change
+ * simulated behaviour: these tests assert that traces round-trip
+ * bit-exactly through trace_io and that every registered core model
+ * produces identical RunResult statistics whether it replays the
+ * generated trace, the round-tripped trace, or the same trace twice.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "isa/trace_io.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace icfp {
+namespace {
+
+Trace
+smallBenchTrace(const std::string &bench, uint64_t insts = 20000)
+{
+    return makeBenchTrace(findBenchmark(bench), insts);
+}
+
+TEST(PackedDynInst, LayoutIsTwoPerCacheLine)
+{
+    EXPECT_EQ(sizeof(DynInst), 32u);
+
+    DynInst di;
+    EXPECT_FALSE(di.taken());
+    di.setTaken(true);
+    EXPECT_TRUE(di.taken());
+    di.setTaken(false);
+    EXPECT_FALSE(di.taken());
+
+    // The merged value field serves both read paths.
+    di.value = 0x1234;
+    EXPECT_EQ(di.result(), 0x1234u);
+    EXPECT_EQ(di.storeValue(), 0x1234u);
+}
+
+TEST(PackedDynInst, OpcodeTraitTableMatchesTable1)
+{
+    // Table 1 latencies via the flat trait table.
+    EXPECT_EQ(fuClass(Opcode::Add), FuClass::IntAlu);
+    EXPECT_EQ(fuLatency(Opcode::Add), 1u);
+    EXPECT_EQ(fuClass(Opcode::Mul), FuClass::IntMul);
+    EXPECT_EQ(fuLatency(Opcode::Mul), 4u);
+    EXPECT_EQ(fuClass(Opcode::Fadd), FuClass::FpAdd);
+    EXPECT_EQ(fuLatency(Opcode::Fadd), 2u);
+    EXPECT_EQ(fuClass(Opcode::Fmul), FuClass::FpMul);
+    EXPECT_EQ(fuLatency(Opcode::Fmul), 4u);
+    EXPECT_EQ(fuClass(Opcode::Ld), FuClass::Mem);
+    EXPECT_EQ(fuClass(Opcode::St), FuClass::Mem);
+    EXPECT_EQ(fuClass(Opcode::Beq), FuClass::Branch);
+    EXPECT_EQ(fuClass(Opcode::Halt), FuClass::None);
+
+    // Classification bits agree with the opcode identities.
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        const OpTraits &traits = opTraits(op);
+        EXPECT_EQ(traits.isLoad, op == Opcode::Ld);
+        EXPECT_EQ(traits.isStore, op == Opcode::St);
+        EXPECT_EQ(traits.isControl,
+                  op == Opcode::Beq || op == Opcode::Bne ||
+                      op == Opcode::Blt || op == Opcode::Jmp ||
+                      op == Opcode::Call || op == Opcode::Ret);
+        EXPECT_EQ(traits.isCondBranch,
+                  op == Opcode::Beq || op == Opcode::Bne ||
+                      op == Opcode::Blt);
+    }
+}
+
+TEST(ReplayEquiv, PackedTraceRoundTripsThroughTraceIo)
+{
+    const Trace t = smallBenchTrace("mcf");
+
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const Trace u = readTrace(ss);
+
+    ASSERT_EQ(u.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(u[i].pc, t[i].pc) << "dyninst " << i;
+        EXPECT_EQ(u[i].nextPc, t[i].nextPc);
+        EXPECT_EQ(u[i].op, t[i].op);
+        EXPECT_EQ(u[i].dst, t[i].dst);
+        EXPECT_EQ(u[i].src1, t[i].src1);
+        EXPECT_EQ(u[i].src2, t[i].src2);
+        EXPECT_EQ(u[i].addr, t[i].addr);
+        EXPECT_EQ(u[i].value, t[i].value);
+        EXPECT_EQ(u[i].flags, t[i].flags);
+    }
+    EXPECT_EQ(u.finalRegs, t.finalRegs);
+    EXPECT_EQ(u.finalMemory, t.finalMemory);
+    EXPECT_EQ(u.halted, t.halted);
+
+    // The delta-encoded final image hands the reader the dirty-word
+    // list; it must equal a from-scratch diff of the images.
+    ASSERT_NE(t.dirty(), nullptr);
+    ASSERT_NE(u.dirty(), nullptr);
+    EXPECT_EQ(*u.dirty(), *t.dirty());
+    EXPECT_EQ(*u.dirty(),
+              u.program->initialMemory.diffWords(u.finalMemory));
+}
+
+TEST(ReplayEquiv, EveryCoreIdenticalStatsAcrossRoundTripAndRerun)
+{
+    for (const char *bench : {"mcf", "gzip", "equake"}) {
+        const Trace generated = smallBenchTrace(bench);
+
+        std::stringstream ss;
+        writeTrace(ss, generated);
+        const Trace reloaded = readTrace(ss);
+
+        const SimConfig cfg;
+        for (const CoreKind kind : CoreRegistry::instance().kinds()) {
+            const RunResult a = simulate(kind, cfg, generated);
+            const RunResult b = simulate(kind, cfg, reloaded);
+            const RunResult c = simulate(kind, cfg, generated);
+
+            // The full stats block, via the canonical serialization.
+            auto row = [&](const RunResult &r) {
+                return sweepCsvRow(
+                    SweepResult{bench, coreKindName(kind), kind, r});
+            };
+            EXPECT_EQ(row(a), row(b))
+                << bench << "/" << coreKindName(kind)
+                << ": stats diverge after a trace_io round trip";
+            EXPECT_EQ(row(a), row(c))
+                << bench << "/" << coreKindName(kind)
+                << ": stats diverge across identical reruns";
+        }
+    }
+}
+
+TEST(ReplayEquiv, MemOverlayVerificationMatchesFullCompare)
+{
+    MemoryImage base(1024);
+    base.write(0, 11);
+    base.write(64, 22);
+    MemoryImage final_image = base;
+    final_image.write(64, 33);
+    final_image.write(128, 44);
+    const std::vector<Addr> dirty = base.diffWords(final_image);
+    EXPECT_EQ(dirty, (std::vector<Addr>{64, 128}));
+
+    // Exactly the golden writes: passes with and without the diff.
+    MemOverlay good(&base);
+    good.write(64, 33);
+    good.write(128, 44);
+    EXPECT_TRUE(good.matchesFinal(final_image, &dirty));
+    EXPECT_TRUE(good.matchesFinal(final_image, nullptr));
+
+    // Rewriting a word with its unchanged base value is still a match.
+    MemOverlay rewrite(&base);
+    rewrite.write(64, 33);
+    rewrite.write(128, 44);
+    rewrite.write(0, 11);
+    EXPECT_TRUE(rewrite.matchesFinal(final_image, &dirty));
+    EXPECT_TRUE(rewrite.matchesFinal(final_image, nullptr));
+
+    // A missing golden write must fail.
+    MemOverlay missing(&base);
+    missing.write(64, 33);
+    EXPECT_FALSE(missing.matchesFinal(final_image, &dirty));
+    EXPECT_FALSE(missing.matchesFinal(final_image, nullptr));
+
+    // A wrong value must fail.
+    MemOverlay wrong(&base);
+    wrong.write(64, 33);
+    wrong.write(128, 999);
+    EXPECT_FALSE(wrong.matchesFinal(final_image, &dirty));
+    EXPECT_FALSE(wrong.matchesFinal(final_image, nullptr));
+
+    // A stray write the golden run never made must fail.
+    MemOverlay stray(&base);
+    stray.write(64, 33);
+    stray.write(128, 44);
+    stray.write(256, 7);
+    EXPECT_FALSE(stray.matchesFinal(final_image, &dirty));
+    EXPECT_FALSE(stray.matchesFinal(final_image, nullptr));
+}
+
+TEST(ReplayEquiv, DirtyWordsComputedAtGeneration)
+{
+    const Trace t = smallBenchTrace("gzip", 5000);
+    ASSERT_NE(t.dirty(), nullptr);
+    EXPECT_EQ(*t.dirty(),
+              t.program->initialMemory.diffWords(t.finalMemory));
+}
+
+} // namespace
+} // namespace icfp

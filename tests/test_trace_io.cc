@@ -67,9 +67,9 @@ TEST(TraceIo, TraceRoundTripPreservesEverything)
         EXPECT_EQ(u[i].nextPc, t[i].nextPc);
         EXPECT_EQ(u[i].op, t[i].op);
         EXPECT_EQ(u[i].addr, t[i].addr);
-        EXPECT_EQ(u[i].result, t[i].result);
-        EXPECT_EQ(u[i].storeValue, t[i].storeValue);
-        EXPECT_EQ(u[i].taken, t[i].taken);
+        EXPECT_EQ(u[i].result(), t[i].result());
+        EXPECT_EQ(u[i].storeValue(), t[i].storeValue());
+        EXPECT_EQ(u[i].taken(), t[i].taken());
     }
     EXPECT_EQ(u.finalRegs, t.finalRegs);
     EXPECT_EQ(u.finalMemory, t.finalMemory);

@@ -69,7 +69,7 @@ TEST_P(SuiteTest, BodySizeMatchesEstimate)
     bool seen = false;
     for (size_t i = 0; i < trace.size(); ++i) {
         const DynInst &di = trace[i];
-        if (!di.isCondBranch() || !di.taken ||
+        if (!di.isCondBranch() || !di.taken() ||
             trace.program->code[di.pc].target >= di.pc) {
             continue;
         }
@@ -219,7 +219,7 @@ TEST(Workloads, NoiseBranchesAreUnpredictableButMissIndependent)
             trace.program->code[di.pc].target == di.pc + 2) {
             // skip-one-instruction pattern = noise branch
             ++total;
-            taken += di.taken;
+            taken += di.taken();
         }
     }
     ASSERT_GT(total, 100u);

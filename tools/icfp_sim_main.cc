@@ -11,6 +11,8 @@
  *   sweep   [--benches ...] [--cores ...]  run a (bench × core) grid
  *   merge   [--out F] SHARD...   stitch `sweep --shard` artifacts back
  *                                into the byte-identical unsharded report
+ *   perf    [--quick] [--baseline F]  measure simulator throughput over
+ *                                the fig5 grid; emits BENCH_perf.json
  *   trace   --bench B --save-trace F   generate + save a golden trace
  *   disasm  --bench B [--n N]    print the first N dynamic instructions
  *
@@ -38,6 +40,13 @@
  *   --trace-dir DIR  persistent golden-trace store (overrides the
  *                    ICFP_TRACE_DIR environment variable)
  *
+ * Perf options (see sim/perf_harness.hh):
+ *   --quick          trimmed grid / budget for CI smoke runs
+ *   --reps N         timed repetitions per case (median-of-N, default 3)
+ *   --warmup N       untimed repetitions per case (default 1)
+ *   --baseline FILE  prior BENCH_perf.json; the emitted artifact then
+ *                    records both numbers and the speedup ratio
+ *
  * Exit status: 0 on success, 1 on usage errors.
  */
 
@@ -51,6 +60,7 @@
 #include "common/logging.hh"
 #include "isa/trace_io.hh"
 #include "sim/merge.hh"
+#include "sim/perf_harness.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -89,6 +99,14 @@ struct Options
     std::optional<ShardSpec> shard;
     std::optional<std::string> traceDir;
 
+    // Perf options.
+    bool quick = false;
+    unsigned perfReps = 3;
+    bool perfRepsSet = false;
+    unsigned perfWarmup = 1;
+    bool perfWarmupSet = false;
+    std::optional<std::string> baseline;
+
     std::vector<std::string> inputs; ///< positional args (merge shards)
 };
 
@@ -97,8 +115,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: icfp-sim "
-                 "<list|cores|run|compare|suite|sweep|merge|trace|disasm> "
-                 "[options]\n"
+                 "<list|cores|run|compare|suite|sweep|merge|perf|trace|"
+                 "disasm> [options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
 }
@@ -172,6 +190,20 @@ parseArgs(int argc, char **argv, Options *opt)
                              text);
                 return false;
             }
+        } else if (arg == "--quick") {
+            opt->quick = true;
+        } else if (arg == "--reps") {
+            opt->perfReps =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+            if (opt->perfReps == 0)
+                opt->perfReps = 1;
+            opt->perfRepsSet = true;
+        } else if (arg == "--warmup") {
+            opt->perfWarmup =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+            opt->perfWarmupSet = true;
+        } else if (arg == "--baseline") {
+            opt->baseline = next();
         } else if (arg == "--trace-dir") {
             opt->traceDir = next();
             if (opt->traceDir->empty()) {
@@ -665,6 +697,58 @@ cmdMerge(const Options &opt)
 }
 
 int
+cmdPerf(const Options &opt)
+{
+    PerfOptions perf;
+    perf.quick = opt.quick;
+    perf.reps = opt.perfRepsSet ? opt.perfReps : (opt.quick ? 1 : 3);
+    perf.warmup = opt.perfWarmupSet ? opt.perfWarmup
+                                    : (opt.quick ? 0 : 1);
+    if (opt.instsSet)
+        perf.insts = opt.insts;
+    else
+        perf.insts = opt.quick ? 20000 : 100000;
+    if (opt.benches != "all")
+        perf.benches = splitList(opt.benches);
+
+    std::optional<PerfBaseline> baseline;
+    if (opt.baseline) {
+        baseline = readPerfBaseline(*opt.baseline);
+        if (!baseline)
+            return 1; // a requested comparison that can't happen is an error
+    }
+
+    const PerfReport report = runPerfHarness(perf);
+    const std::string json = perfReportJson(report, baseline);
+
+    const std::string out_path = opt.out ? *opt.out : "BENCH_perf.json";
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+
+    // Human-readable summary on stdout; the artifact holds the details.
+    Table t("Simulator throughput (" + report.grid + ", " +
+            std::to_string(report.instsPerBench) + " insts/bench, median of " +
+            std::to_string(report.reps) + ")");
+    t.setColumns({"stage", "Minsts/s"});
+    t.addRow("trace gen", {report.genInstsPerSec / 1e6}, 2);
+    for (const PerfSchemeStat &st : report.schemes)
+        t.addRow("replay " + st.scheme, {st.instsPerSec / 1e6}, 2);
+    t.addRow("replay overall", {report.replayInstsPerSec / 1e6}, 2);
+    t.print();
+    if (baseline && baseline->replayInstsPerSec > 0.0) {
+        std::printf("replay speedup vs baseline: %.2fx\n",
+                    report.replayInstsPerSec / baseline->replayInstsPerSec);
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}
+
+int
 cmdTrace(const Options &opt)
 {
     if (!opt.saveTrace) {
@@ -690,9 +774,9 @@ cmdDisasm(const Options &opt)
         if (di.isMem())
             std::printf("  ea=0x%llx", (unsigned long long)di.addr);
         if (di.hasDst())
-            std::printf("  -> %llu", (unsigned long long)di.result);
+            std::printf("  -> %llu", (unsigned long long)di.result());
         if (di.isControl())
-            std::printf("  %s", di.taken ? "taken" : "not-taken");
+            std::printf("  %s", di.taken() ? "taken" : "not-taken");
         std::printf("\n");
     }
     return 0;
@@ -740,6 +824,8 @@ main(int argc, char **argv)
         return cmdSweep(opt);
     if (opt.command == "merge")
         return cmdMerge(opt);
+    if (opt.command == "perf")
+        return cmdPerf(opt);
     if (opt.command == "trace")
         return cmdTrace(opt);
     if (opt.command == "disasm")
