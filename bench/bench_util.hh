@@ -21,6 +21,7 @@
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "workloads/suite_registry.hh"
 
 namespace icfp {
 namespace bench {
@@ -49,12 +50,13 @@ class TraceCache
     SweepEngine engine_{1};
 };
 
-/** Names of the full suite, fp first (paper order). */
+/** Benchmark names of one registered workload suite, in suite order
+ *  (spec2000: fp first, paper order). */
 inline std::vector<std::string>
-suiteNames()
+suiteBenchNames(const std::string &suite = kDefaultSuiteName)
 {
     std::vector<std::string> names;
-    for (const BenchmarkSpec &spec : spec2000Suite())
+    for (const BenchmarkSpec &spec : findSuite(suite))
         names.push_back(spec.name);
     return names;
 }

@@ -4,11 +4,15 @@
  * 64-entry chain table relative to the default 512-entry table (the
  * paper reports an average cost of 0.3% with a maximum of 4% on ammp),
  * plus the per-benchmark excess-hop statistics for both sizes.
+ *
+ * Runs its grid on the sweep engine via bench/figure_specs.hh (table
+ * byte-identical to the legacy serial loop, pinned by tests/
+ * test_sweep.cc): traces shared through the engine cache + persistent
+ * store, threads from ICFP_SWEEP_JOBS, raw grid via ICFP_BENCH_CSV.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -16,56 +20,10 @@ using namespace icfp::bench;
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    std::vector<SweepResult> grid;
-
-    Table table("Chain table size sensitivity: 64-entry vs 512-entry");
-    table.setColumns({"bench", "slowdown %", "hops/100ld (512)",
-                      "hops/100ld (64)"});
-
-    std::vector<double> ratios;
-    double max_slowdown = 0.0;
-    std::string max_bench;
-
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        const Trace &trace = traces.get(spec.name);
-
-        SimConfig cfg_big;
-        cfg_big.icfp.storeBuffer.chainTableEntries = 512;
-        const RunResult big = simulate(CoreKind::ICfp, cfg_big, trace);
-
-        SimConfig cfg_small;
-        cfg_small.icfp.storeBuffer.chainTableEntries = 64;
-        const RunResult small = simulate(CoreKind::ICfp, cfg_small, trace);
-        grid.push_back({spec.name, "chain=512", CoreKind::ICfp, big});
-        grid.push_back({spec.name, "chain=64", CoreKind::ICfp, small});
-
-        const double slowdown =
-            100.0 * (double(small.cycles) / double(big.cycles) - 1.0);
-        auto hops = [](const RunResult &r) {
-            return r.sbChainLoads ? 100.0 * double(r.sbExcessHops) /
-                                        double(r.sbChainLoads)
-                                  : 0.0;
-        };
-        table.addRow(spec.name, {slowdown, hops(big), hops(small)}, 2);
-        ratios.push_back(double(big.cycles) / double(small.cycles));
-        if (slowdown > max_slowdown) {
-            max_slowdown = slowdown;
-            max_bench = spec.name;
-        }
-    }
-
-    table.addNote("");
-    table.addRow("avg slowdown", {-geomeanSpeedupPct(ratios)}, 2);
-    char max_note[96];
-    std::snprintf(max_note, sizeof(max_note), "max slowdown: %.2f%% (%s)",
-                  max_slowdown, max_bench.c_str());
-    table.addNote(max_note);
-    table.addNote("");
-    table.addNote("Paper: a 64-entry chain table costs 0.3% on average, "
-                  "4% at most (ammp).");
-    table.print();
-    writeBenchCsv("chain_table", grid);
+    const SweepSpec spec = chainTableSpec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    chainTableTable(spec, results).print();
+    writeBenchCsv("chain_table", results);
     return 0;
 }

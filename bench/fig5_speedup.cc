@@ -32,7 +32,7 @@ main()
                          // each params struct
 
     SweepSpec spec;
-    spec.benches = suiteNames();
+    spec.benches = suiteBenchNames();
     spec.variants = {
         {"base", CoreKind::InOrder, cfg}, {"RA", CoreKind::Runahead, cfg},
         {"MP", CoreKind::Multipass, cfg}, {"SLTP", CoreKind::Sltp, cfg},

@@ -75,7 +75,7 @@ main()
     // scheme configurations. Stride within one benchmark's results:
     // lat-major, series-minor.
     SweepSpec spec;
-    spec.benches = suiteNames();
+    spec.benches = suiteBenchNames();
     spec.insts = insts;
     for (const Cycle lat : kLatencies) {
         SimConfig base_cfg;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Non-SPEC speedup figure: the fig5-shaped table for the combined
+ * "nonspec" suite (graph traversal, hash-join, key-value service) —
+ * percent speedup over the in-order baseline for every other registered
+ * core scheme, with per-family and overall geometric means.
+ *
+ * The three families bracket the paper's miss-behaviour spectrum from
+ * the non-SPEC side: graph.* is dependent-miss chains (the slice-buffer
+ * case), join.* is bursty independent misses (the MLP case), kv.* is a
+ * hot/cold service loop. Expected shape: iCFP leads on graph.*, every
+ * advance scheme gains on join.*, and cache-resident points (join.l2,
+ * graph.l2) show the smallest spreads.
+ *
+ * Runs the whole grid on the sweep engine (sim/sweep.hh): golden traces
+ * shared across schemes, persisted through ICFP_TRACE_DIR, worker
+ * threads from ICFP_SWEEP_JOBS, budget from ICFP_BENCH_INSTS, and the
+ * raw grid dumped via ICFP_BENCH_CSV — exactly like the SPEC figures.
+ */
+
+#include "bench_util.hh"
+#include "figure_specs.hh"
+
+using namespace icfp;
+using namespace icfp::bench;
+
+int
+main()
+{
+    const SweepSpec spec =
+        suiteSpeedupSpec(kNonspecSuiteName, benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    suiteSpeedupTable(kNonspecSuiteName, spec, results).print();
+    writeBenchCsv("fig_nonspec", results);
+    return 0;
+}

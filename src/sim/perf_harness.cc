@@ -5,12 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/trace_store.hh"
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
 
 namespace icfp {
 
@@ -122,7 +125,42 @@ scanNumberAfter(const std::string &text, size_t anchor, const char *key)
     return v;
 }
 
+/** Extract the string following `"key": "` after position @p anchor. */
+std::optional<std::string>
+scanStringAfter(const std::string &text, size_t anchor, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\": \"";
+    const size_t at = text.find(needle, anchor);
+    if (at == std::string::npos)
+        return std::nullopt;
+    const size_t start = at + needle.size();
+    const size_t end = text.find('"', start);
+    if (end == std::string::npos)
+        return std::nullopt;
+    return text.substr(start, end - start);
+}
+
 } // namespace
+
+std::string
+perfGridName(const std::string &suite, bool quick)
+{
+    // spec2000 keeps its historical grid label (artifacts and baselines
+    // grep for "fig5"); other suites label the grid by suite name.
+    const std::string base =
+        suite == std::string(kDefaultSuiteName) ? "fig5" : suite;
+    return quick ? base + "-quick" : base;
+}
+
+std::string
+perfGridSuitePart(const std::string &grid)
+{
+    constexpr const char *kQuick = "-quick";
+    const size_t n = std::string(kQuick).size();
+    if (grid.size() > n && grid.compare(grid.size() - n, n, kQuick) == 0)
+        return grid.substr(0, grid.size() - n);
+    return grid;
+}
 
 PerfReport
 runPerfHarness(const PerfOptions &options)
@@ -131,14 +169,27 @@ runPerfHarness(const PerfOptions &options)
     report.instsPerBench = options.insts;
     report.warmup = options.warmup;
     report.reps = options.reps;
-    report.grid = options.quick ? "fig5-quick" : "fig5";
+    report.suite = options.suite;
+    const bool is_spec = options.suite == std::string(kDefaultSuiteName);
+    report.grid = perfGridName(options.suite, options.quick);
 
     std::vector<std::string> benches = options.benches;
     if (benches.empty()) {
-        if (options.quick) {
+        const std::vector<BenchmarkSpec> &suite = findSuite(options.suite);
+        if (options.quick && is_spec) {
             benches = {"mcf", "equake", "gzip"};
+        } else if (options.quick) {
+            // One representative per family: the first benchmark of
+            // each name-prefix family, in suite order (a seen-set, so
+            // suites with non-contiguous families still get exactly
+            // one representative each).
+            std::set<std::string> seen;
+            for (const BenchmarkSpec &spec : suite) {
+                if (seen.insert(benchFamily(spec.name)).second)
+                    benches.push_back(spec.name);
+            }
         } else {
-            for (const BenchmarkSpec &spec : spec2000Suite())
+            for (const BenchmarkSpec &spec : suite)
                 benches.push_back(spec.name);
         }
     }
@@ -217,6 +268,8 @@ perfReportJson(const PerfReport &report,
     appendKv(&out, "trace_gen_version", uint64_t{kTraceGenVersion});
     out += ",\n  ";
     appendKv(&out, "grid", report.grid);
+    out += ",\n  ";
+    appendKv(&out, "suite", report.suite);
     out += ",\n  ";
     appendKv(&out, "insts_per_bench", report.instsPerBench);
     out += ",\n  ";
@@ -297,6 +350,8 @@ readPerfBaseline(const std::string &path)
     // The headline lives in the "replay" object; trace-gen in "trace_gen".
     PerfBaseline baseline;
     baseline.source = path;
+    if (const auto grid = scanStringAfter(text, 0, "grid"))
+        baseline.grid = *grid; // absent in pre-suite artifacts: empty
     const size_t replay_at = text.find("\"replay\":");
     const std::optional<double> replay =
         replay_at == std::string::npos

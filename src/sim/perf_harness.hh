@@ -35,9 +35,18 @@ namespace icfp {
 /** What to measure. */
 struct PerfOptions
 {
-    /** Benchmarks to run; empty = the full fig5 suite (or the trimmed
-     *  quick subset when quick is set). */
+    /** Benchmarks to run; empty = the whole selected suite (or its
+     *  trimmed quick subset when quick is set). */
     std::vector<std::string> benches;
+    /**
+     * Workload suite the grid is drawn from (suite_registry.hh).
+     * "spec2000" keeps the historical fig5 grid and its quick subset
+     * {mcf, equake, gzip}; for any other suite, quick times one
+     *  representative benchmark per family (the first bench of each
+     *  name-prefix family), so BENCH_perf.json tracks throughput on
+     *  irregular-access workloads too.
+     */
+    std::string suite = "spec2000";
     uint64_t insts = 100000; ///< dynamic instruction budget per benchmark
     unsigned warmup = 1;     ///< untimed repetitions per case
     unsigned reps = 3;       ///< timed repetitions per case (median-of-N)
@@ -70,7 +79,10 @@ struct PerfReport
     uint64_t instsPerBench = 0;
     unsigned warmup = 0;
     unsigned reps = 0;
-    std::string grid;            ///< "fig5" or "fig5-quick"
+    /** "fig5"/"fig5-quick" for the spec2000 suite (historical artifact
+     *  names), else "<suite>"/"<suite>-quick". */
+    std::string grid;
+    std::string suite;           ///< the workload suite measured
 
     // Trace generation (interpreter) throughput over all benchmarks.
     uint64_t genInsts = 0;
@@ -91,8 +103,20 @@ struct PerfBaseline
 {
     double replayInstsPerSec = 0.0;
     double genInstsPerSec = 0.0;
+    /** The baseline's "grid" label ("fig5", "nonspec-quick", …); empty
+     *  for artifacts that predate the field. Callers should refuse to
+     *  compare across different suites' grids — the ratio would mix
+     *  throughput on unrelated workloads. */
+    std::string grid;
     std::string source; ///< where the numbers came from (file path)
 };
+
+/** The grid label a (suite, quick) measurement reports: "fig5"[-quick]
+ *  for spec2000 (the historical artifact name), else "<suite>"[-quick]. */
+std::string perfGridName(const std::string &suite, bool quick);
+
+/** The suite part of a grid label (strips a trailing "-quick"). */
+std::string perfGridSuitePart(const std::string &grid);
 
 /** Run the measurement (single-threaded; wall-clock medians). */
 PerfReport runPerfHarness(const PerfOptions &options);

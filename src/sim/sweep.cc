@@ -178,11 +178,17 @@ SweepEngine::traceLocked(const TraceKey &key)
     // Look up / generate outside the lock; on a key race the first insert
     // wins and the duplicate is dropped (generation is deterministic, so
     // both are identical anyway).
+    // Resolving the spec up front also stamps the benchmark's
+    // workload-definition version into the store key, so a stored trace
+    // generated by an older definition of this one benchmark can never
+    // serve (it reads as corrupt and is regenerated).
+    BenchmarkSpec spec = findBenchmark(std::get<0>(key));
     TraceId id;
     id.bench = std::get<0>(key);
     id.insts = std::get<1>(key);
     if (std::get<2>(key))
         id.seed = std::get<3>(key);
+    id.defVersion = spec.defVersion;
 
     std::unique_ptr<Trace> trace;
     if (store_) {
@@ -190,7 +196,6 @@ SweepEngine::traceLocked(const TraceKey &key)
             trace = std::make_unique<Trace>(std::move(*cached));
     }
     if (!trace) {
-        BenchmarkSpec spec = findBenchmark(id.bench);
         if (id.seed)
             spec.workload.seed = *id.seed;
         trace = std::make_unique<Trace>(makeBenchTrace(spec, id.insts));

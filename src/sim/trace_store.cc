@@ -81,9 +81,12 @@ TraceId::keyString() const
 {
     // fmt guards against trace_io encoding changes (an old-format file
     // would pass the content hash yet be fatal to parse); gen guards
-    // against generator semantic changes the hash cannot see.
+    // against generator semantic changes the hash cannot see; wl guards
+    // against a single benchmark's definition changing
+    // (BenchmarkSpec::defVersion).
     std::string key = "fmt=" + std::to_string(kTraceIoFormatVersion) +
                       " gen=" + std::to_string(kTraceGenVersion) +
+                      " wl=" + std::to_string(defVersion) +
                       " bench=" + bench +
                       " insts=" + std::to_string(insts);
     key += seed ? " seed=" + std::to_string(*seed) : " seed=-";

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Graph-traversal workload family: BFS / pointer-chase over a synthetic
+ * CSR graph. Every point is dominated by *dependent* loads — the next
+ * edge's address comes out of the previous load — which is exactly the
+ * pattern iCFP's slice buffer exists for (and where the in-order
+ * baseline's D$ MLP collapses to ~1, paper Figure 1).
+ *
+ * Mapping onto the generator (workloads/kernels.hh):
+ *  - adjacency walks  → chase rings (cold = memory-resident graph,
+ *    warm = L2-resident graph), a seeded permutation so consecutive
+ *    hops land on far-apart lines — a randomized CSR edge order;
+ *  - BFS frontier     → multiple staggered chase chains (independent
+ *    dependence chains in flight, like several frontier nodes);
+ *  - visited-set probes → randomized independent cold loads;
+ *  - offset/index arithmetic → int ops; degree-dependent control →
+ *    noise branches.
+ */
+
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
+
+namespace icfp {
+
+std::string
+benchFamily(const std::string &bench)
+{
+    return bench.substr(0, bench.find('.'));
+}
+
+std::vector<BenchmarkSpec>
+graphSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    uint64_t seed = 2000;
+
+    auto add = [&suite, &seed](const std::string &name, WorkloadParams w) {
+        w.name = name;
+        w.seed = ++seed;
+        BenchmarkSpec spec;
+        spec.name = name;
+        spec.isFp = false;
+        spec.workload = w;
+        suite.push_back(spec);
+    };
+
+    // Single long chain over a memory-resident graph: the pure
+    // dependent-miss chain (every hop is an all-level miss, and the
+    // immediate use stalls the in-order pipe right at the load).
+    add("graph.chase", {
+        .coldBytes = 32 * 1024 * 1024,
+        .hotLoads = 1, .warmLoads = 0, .coldLoads = 0,
+        .chaseHops = 2, .chaseChains = 1,
+        .stores = 1, .intOps = 12, .fpOps = 0,
+        .noiseBranches = 1,
+        .chaseNodeBytes = 4096,
+    });
+
+    // BFS: several frontier nodes in flight (staggered chains) plus
+    // randomized visited-set probes — dependent chains that overlap
+    // with each other and with independent misses.
+    add("graph.bfs", {
+        .coldBytes = 16 * 1024 * 1024,
+        .hotLoads = 1, .warmLoads = 0, .coldLoads = 1,
+        .chaseHops = 3, .chaseChains = 3,
+        .stores = 1, .intOps = 16, .fpOps = 0,
+        .noiseBranches = 2,
+        .coldRandom = true,
+        .chaseNodeBytes = 4096,
+    });
+
+    // L2-resident graph (the footprint fits the 1MB L2 but busts the
+    // D$): dependent D$ misses that hit the L2 — the tier where
+    // advance-under-any-miss schemes separate from L2-only triggers.
+    add("graph.l2", {
+        .hotLoads = 2, .warmLoads = 0, .coldLoads = 0,
+        .warmChaseHops = 2, .warmChaseChains = 2,
+        .stores = 1, .intOps = 20, .fpOps = 0,
+        .noiseBranches = 1,
+    });
+
+    // CSR gather: L2-resident offset array reads feeding randomized
+    // neighbor-data gathers from memory, with a short L2 index walk —
+    // the mixed dependent/independent shape of real CSR kernels.
+    add("graph.csr", {
+        .coldBytes = 16 * 1024 * 1024,
+        .hotLoads = 1, .warmLoads = 1, .coldLoads = 2,
+        .warmChaseHops = 1,
+        .stores = 1, .intOps = 10, .fpOps = 0,
+        .noiseBranches = 1,
+        .coldRandom = true,
+    });
+
+    return suite;
+}
+
+namespace {
+
+const SuiteRegistrar registerGraph(
+    "graph",
+    "BFS/pointer-chase over a synthetic CSR graph (dependent misses)",
+    [] { return graphSuite(); });
+
+} // namespace
+} // namespace icfp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hash-join workload family: build + probe with a tunable
+ * table-vs-cache footprint. Probes into a table bigger than the cache
+ * tier are *independent* randomized misses — several can be in flight
+ * at once, so this is the MLP case (the paper's art/applu side of the
+ * spectrum, versus the graph family's dependent chains), and the case
+ * where an advance scheme's win comes from overlapping misses rather
+ * than tolerating one long chain.
+ *
+ * Mapping onto the generator (workloads/kernels.hh):
+ *  - hash probes  → randomized cold/warm loads (the LCG-addressed
+ *    independent loads; randomization defeats the stream prefetcher,
+ *    like real hash probes do);
+ *  - build inserts → store traffic into the hot region;
+ *  - hash computation → int ops; match/no-match → noise branches;
+ *  - table footprint → which tier the loads land in (hot / warm /
+ *    cold bytes).
+ */
+
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
+
+namespace icfp {
+
+std::vector<BenchmarkSpec>
+hashJoinSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    uint64_t seed = 3000;
+
+    auto add = [&suite, &seed](const std::string &name, WorkloadParams w) {
+        w.name = name;
+        w.seed = ++seed;
+        BenchmarkSpec spec;
+        spec.name = name;
+        spec.isFp = false;
+        spec.workload = w;
+        suite.push_back(spec);
+    };
+
+    // Build phase: scan the (L2-resident) input relation and insert
+    // into the hash table — store-heavy, modest miss rate.
+    add("join.build", {
+        .hotLoads = 2, .warmLoads = 2, .coldLoads = 0,
+        .stores = 4, .intOps = 14, .fpOps = 0,
+        .noiseBranches = 1,
+    });
+
+    // Probe phase against a memory-resident table: bursty independent
+    // all-level misses (the pure MLP point — the knob iCFP/runahead
+    // convert into overlap).
+    add("join.probe", {
+        .coldBytes = 32 * 1024 * 1024,
+        .hotLoads = 2, .warmLoads = 0, .coldLoads = 3,
+        .stores = 1, .intOps = 12, .fpOps = 0,
+        .noiseBranches = 1,
+        .coldRandom = true,
+    });
+
+    // Both sides fit the L2: the footprint point where the join is
+    // D$-miss-bound but never goes to memory.
+    add("join.l2", {
+        .hotLoads = 2, .warmLoads = 3, .coldLoads = 0,
+        .stores = 2, .intOps = 12, .fpOps = 0,
+        .noiseBranches = 1,
+    });
+
+    // Skewed keys: most probes hit a cache-resident hot partition,
+    // the tail goes to memory (a zipf-shaped probe distribution).
+    add("join.skew", {
+        .coldBytes = 16 * 1024 * 1024,
+        .hotLoads = 3, .warmLoads = 0, .coldLoads = 2,
+        .stores = 1, .intOps = 12, .fpOps = 0,
+        .noiseBranches = 1,
+        .coldRandom = true,
+    });
+
+    return suite;
+}
+
+namespace {
+
+const SuiteRegistrar registerHashJoin(
+    "hashjoin",
+    "hash-table build+probe, tunable table-vs-cache footprint (MLP)",
+    [] { return hashJoinSuite(); });
+
+} // namespace
+} // namespace icfp

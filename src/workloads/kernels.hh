@@ -79,6 +79,10 @@ struct WorkloadParams
      * run, big enough (in 64B lines) to keep missing the D$.
      */
     size_t warmChaseBytes = 64 * 1024;
+
+    /** Full-knob equality: the suite registry uses it to prove that a
+     *  bench name repeated across suites is the identical generator. */
+    bool operator==(const WorkloadParams &) const = default;
 };
 
 /** Build the synthetic program described by @p params. */

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Key-value service workload family: the request loop of a KV store
+ * serving a zipf-shaped key stream — the "serve heavy traffic"
+ * scenario. Each iteration is one request: dispatch (leaf call),
+ * hot-set lookups that hit the D$, a cold-tail lookup that goes to
+ * memory, value writes, and data-dependent control (hit/miss,
+ * get-vs-put paths).
+ *
+ * Mapping onto the generator (workloads/kernels.hh): the zipf hot/cold
+ * split is the generator's working-set tiers — hot-key gets are hot
+ * loads (D$-resident hot set), the cold tail is randomized cold loads
+ * (memory-resident cold set, prefetch-hostile like hashed keys), puts
+ * are stores, request dispatch is a leaf call, and per-request branch
+ * noise models the unpredictable request mix.
+ */
+
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
+
+namespace icfp {
+
+std::vector<BenchmarkSpec>
+kvServiceSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    uint64_t seed = 4000;
+
+    auto add = [&suite, &seed](const std::string &name, WorkloadParams w) {
+        w.name = name;
+        w.seed = ++seed;
+        BenchmarkSpec spec;
+        spec.name = name;
+        spec.isFp = false;
+        spec.workload = w;
+        suite.push_back(spec);
+    };
+
+    // Read-mostly service: hot-set gets dominate, a cold-tail get per
+    // request goes to memory.
+    add("kv.get", {
+        .coldBytes = 32 * 1024 * 1024,
+        .hotLoads = 3, .warmLoads = 0, .coldLoads = 1,
+        .stores = 1, .intOps = 10, .fpOps = 0,
+        .noiseBranches = 1, .calls = 1,
+        .coldRandom = true,
+    });
+
+    // Write-heavy service: puts update values and metadata (store
+    // traffic is what stresses the chained store buffer under misses).
+    add("kv.put", {
+        .coldBytes = 16 * 1024 * 1024,
+        .hotLoads = 2, .warmLoads = 0, .coldLoads = 1,
+        .stores = 4, .intOps = 10, .fpOps = 0,
+        .noiseBranches = 1, .calls = 1,
+        .coldRandom = true,
+    });
+
+    // Mixed get/put with a branchier request mix.
+    add("kv.mixed", {
+        .coldBytes = 16 * 1024 * 1024,
+        .hotLoads = 2, .warmLoads = 0, .coldLoads = 1,
+        .stores = 2, .intOps = 12, .fpOps = 0,
+        .noiseBranches = 2, .calls = 1,
+        .coldRandom = true,
+    });
+
+    // Tail-dominated: a cache-hostile key stream (little hot-set
+    // reuse) plus an index-structure walk per request — the worst-case
+    // latency point a service has to survive.
+    add("kv.cold", {
+        .coldBytes = 32 * 1024 * 1024,
+        .hotLoads = 1, .warmLoads = 1, .coldLoads = 2,
+        .chaseHops = 1, .chaseChains = 1,
+        .stores = 1, .intOps = 8, .fpOps = 0,
+        .noiseBranches = 1,
+        .coldRandom = true,
+        .chaseNodeBytes = 4096,
+    });
+
+    return suite;
+}
+
+namespace {
+
+const SuiteRegistrar registerKvService(
+    "kv",
+    "key-value service loop: zipf get/put mix over hot/cold key sets",
+    [] { return kvServiceSuite(); });
+
+} // namespace
+} // namespace icfp

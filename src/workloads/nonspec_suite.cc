@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The combined "nonspec" suite: all three non-SPEC families (graph,
+ * hashjoin, kv) concatenated in family order. Entries are re-exported
+ * verbatim from the family builders, so a bench name resolves to the
+ * identical generator whether looked up through its family suite or
+ * through "nonspec" (SuiteRegistry::findBenchmark checks exactly this).
+ */
+
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
+
+namespace icfp {
+namespace {
+
+const SuiteRegistrar registerNonspec(
+    kNonspecSuiteName,
+    "all non-SPEC families combined: graph + hashjoin + kv",
+    [] {
+        std::vector<BenchmarkSpec> suite = graphSuite();
+        std::vector<BenchmarkSpec> join = hashJoinSuite();
+        std::vector<BenchmarkSpec> kv = kvServiceSuite();
+        suite.insert(suite.end(), join.begin(), join.end());
+        suite.insert(suite.end(), kv.begin(), kv.end());
+        return suite;
+    });
+
+} // namespace
+} // namespace icfp

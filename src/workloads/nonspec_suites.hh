@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Non-SPEC workload families: deterministic, seed-driven kernels built
+ * from the same WorkloadParams machinery as the SPEC2000 analogs, each
+ * registered as its own suite (workloads/suite_registry.hh) plus a
+ * combined "nonspec" suite re-exporting all three.
+ *
+ * The families target the three memory behaviours the iCFP design space
+ * separates (and the benchmarking literature keeps distinct — cf.
+ * RZBENCH's low-level vs application split):
+ *
+ *  - "graph"    — BFS / pointer-chase over a synthetic CSR graph:
+ *                 dependent all-level misses, the case the slice buffer
+ *                 exists for;
+ *  - "hashjoin" — hash-table build + probe with a tunable
+ *                 table-vs-cache footprint: bursty *independent*
+ *                 misses, the MLP case;
+ *  - "kv"       — a key-value service loop, zipf-flavored get/put mix
+ *                 over hot/cold key sets: the serve-heavy-traffic
+ *                 scenario (hot-set hits, cold-tail misses, store
+ *                 traffic, handler dispatch).
+ *
+ * Benchmark names are family-prefixed ("graph.bfs", "join.probe",
+ * "kv.get"); harnesses group geomeans by the prefix before the dot.
+ */
+
+#ifndef ICFP_WORKLOADS_NONSPEC_SUITES_HH
+#define ICFP_WORKLOADS_NONSPEC_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/spec_analogs.hh"
+
+namespace icfp {
+
+/** The combined non-SPEC suite name ("nonspec"). */
+inline constexpr const char *kNonspecSuiteName = "nonspec";
+
+/** Graph-traversal family (suite "graph"). */
+std::vector<BenchmarkSpec> graphSuite();
+
+/** Hash-join family (suite "hashjoin"). */
+std::vector<BenchmarkSpec> hashJoinSuite();
+
+/** Key-value service family (suite "kv"). */
+std::vector<BenchmarkSpec> kvServiceSuite();
+
+/** Family tag of a benchmark name: the prefix before the first '.'
+ *  ("graph.bfs" → "graph"); the whole name when there is no dot. */
+std::string benchFamily(const std::string &bench);
+
+} // namespace icfp
+
+#endif // ICFP_WORKLOADS_NONSPEC_SUITES_HH

@@ -1,6 +1,7 @@
 #include "workloads/spec_analogs.hh"
 
 #include "common/logging.hh"
+#include "workloads/suite_registry.hh"
 
 namespace icfp {
 
@@ -236,23 +237,30 @@ buildSuite()
     return suite;
 }
 
+/** The paper's suite is the registry's first (and default) entry. */
+const SuiteRegistrar registerSpec2000(
+    kDefaultSuiteName,
+    "24 SPEC2000 analogs calibrated against paper Table 2 (fp then int)",
+    [] { return buildSuite(); });
+
 } // namespace
 
 const std::vector<BenchmarkSpec> &
 spec2000Suite()
 {
-    static const std::vector<BenchmarkSpec> suite = buildSuite();
-    return suite;
+    return findSuite(kDefaultSuiteName);
 }
 
 const BenchmarkSpec &
 findBenchmark(const std::string &name)
 {
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        if (spec.name == name)
-            return spec;
-    }
-    ICFP_FATAL("unknown benchmark analog '%s'", name.c_str());
+    const BenchmarkSpec *spec =
+        SuiteRegistry::instance().findBenchmark(name);
+    if (!spec)
+        ICFP_FATAL("unknown benchmark analog '%s' (in any registered "
+                   "suite; see 'icfp-sim suites')",
+                   name.c_str());
+    return *spec;
 }
 
 } // namespace icfp

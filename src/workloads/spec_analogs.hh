@@ -22,22 +22,41 @@
 
 namespace icfp {
 
-/** One benchmark analog. */
+/** One benchmark analog (an entry of a registered workload suite). */
 struct BenchmarkSpec
 {
-    std::string name;     ///< the SPEC2000 benchmark this stands in for
+    std::string name;     ///< the benchmark this stands in for
     bool isFp = false;    ///< SPECfp vs SPECint (for the geo-mean split)
     WorkloadParams workload;
+
+    /**
+     * Workload-definition version: BUMP whenever this benchmark's
+     * generator parameters (or the kernel features it exercises) change
+     * the trace it produces. The persistent trace store folds it into
+     * every store key (sim/trace_store.hh), so editing a kernel can
+     * never silently serve a stale golden trace. (Changes that affect
+     * *every* benchmark — kernels.cc / interpreter semantics — are
+     * covered by the global kTraceGenVersion instead.)
+     */
+    unsigned defVersion = 1;
 
     /** Paper Table 2 reference values (for EXPERIMENTS.md comparison). */
     double paperDcacheMissKi = 0.0;
     double paperL2MissKi = 0.0;
 };
 
-/** The full 24-benchmark suite in the paper's order (fp then int). */
+/**
+ * The full 24-benchmark SPEC2000 suite in the paper's order (fp then
+ * int). Registered as the "spec2000" suite — the default everywhere
+ * (workloads/suite_registry.hh).
+ */
 const std::vector<BenchmarkSpec> &spec2000Suite();
 
-/** Look up one analog by name; fatal if unknown. */
+/**
+ * Look up one benchmark by name across every registered suite (the
+ * global benchmark namespace — see SuiteRegistry::findBenchmark);
+ * fatal if no suite defines it.
+ */
 const BenchmarkSpec &findBenchmark(const std::string &name);
 
 /** Default dynamic instruction budget per benchmark run. */

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
 
 #include "bench/figure_specs.hh"
@@ -282,6 +283,103 @@ TEST(Figures, AblationStudiesMatchLegacySerialShape)
     }
     // All five studies replayed the same five golden traces.
     EXPECT_EQ(engine.traceGenerations(), 5u);
+}
+
+TEST(Figures, ChainTableGridMatchesLegacySerialBytes)
+{
+    // The ported harness must reproduce the legacy serial loop's table
+    // byte-for-byte. Re-run the legacy algorithm (direct simulate()
+    // calls, bench-major, 512 then 64) here and compare rendered bytes.
+    const uint64_t insts = 2000;
+    const SweepSpec spec = bench::chainTableSpec(insts);
+    ASSERT_EQ(spec.benches.size(), spec2000Suite().size());
+    ASSERT_EQ(spec.variants.size(), 2u);
+
+    SweepEngine engine;
+    const Table ported =
+        bench::chainTableTable(spec, engine.run(spec));
+
+    Table legacy("Chain table size sensitivity: 64-entry vs 512-entry");
+    legacy.setColumns({"bench", "slowdown %", "hops/100ld (512)",
+                       "hops/100ld (64)"});
+    std::vector<double> ratios;
+    double max_slowdown = 0.0;
+    std::string max_bench;
+    for (const BenchmarkSpec &bspec : spec2000Suite()) {
+        const Trace &trace = engine.trace(bspec.name, insts);
+        SimConfig cfg_big;
+        cfg_big.icfp.storeBuffer.chainTableEntries = 512;
+        const RunResult big = simulate(CoreKind::ICfp, cfg_big, trace);
+        SimConfig cfg_small;
+        cfg_small.icfp.storeBuffer.chainTableEntries = 64;
+        const RunResult small = simulate(CoreKind::ICfp, cfg_small, trace);
+        const double slowdown =
+            100.0 * (double(small.cycles) / double(big.cycles) - 1.0);
+        auto hops = [](const RunResult &r) {
+            return r.sbChainLoads ? 100.0 * double(r.sbExcessHops) /
+                                        double(r.sbChainLoads)
+                                  : 0.0;
+        };
+        legacy.addRow(bspec.name, {slowdown, hops(big), hops(small)}, 2);
+        ratios.push_back(double(big.cycles) / double(small.cycles));
+        if (slowdown > max_slowdown) {
+            max_slowdown = slowdown;
+            max_bench = bspec.name;
+        }
+    }
+    legacy.addNote("");
+    legacy.addRow("avg slowdown", {-bench::geomeanSpeedupPct(ratios)}, 2);
+    char max_note[96];
+    std::snprintf(max_note, sizeof(max_note), "max slowdown: %.2f%% (%s)",
+                  max_slowdown, max_bench.c_str());
+    legacy.addNote(max_note);
+    legacy.addNote("");
+    legacy.addNote("Paper: a 64-entry chain table costs 0.3% on average, "
+                   "4% at most (ammp).");
+
+    EXPECT_EQ(ported.str(), legacy.str());
+}
+
+TEST(Figures, SuiteSpeedupGridCoversEverySchemeAndFamily)
+{
+    // The fig_nonspec grid: every nonspec bench × (base + every other
+    // registered scheme), geomean rows per family plus overall.
+    const SweepSpec spec = bench::suiteSpeedupSpec(kNonspecSuiteName, 2000);
+    ASSERT_EQ(spec.benches.size(), findSuite(kNonspecSuiteName).size());
+    ASSERT_EQ(spec.variants.size(),
+              CoreRegistry::instance().kinds().size());
+    EXPECT_EQ(spec.variants.front().label, "base");
+
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    ASSERT_EQ(results.size(), spec.benches.size() * spec.variants.size());
+
+    const Table table =
+        bench::suiteSpeedupTable(kNonspecSuiteName, spec, results);
+    const std::vector<std::string> labels = tableRowLabels(table);
+    // 12 bench rows + graph/join/kv geomeans + overall.
+    ASSERT_EQ(labels.size(), spec.benches.size() + 4);
+    for (size_t b = 0; b < spec.benches.size(); ++b)
+        EXPECT_EQ(labels[b], spec.benches[b]);
+    EXPECT_EQ(labels[spec.benches.size() + 0], "graph geomean");
+    EXPECT_EQ(labels[spec.benches.size() + 1], "join geomean");
+    EXPECT_EQ(labels[spec.benches.size() + 2], "kv geomean");
+    EXPECT_EQ(labels.back(), "overall geomean");
+}
+
+TEST(Sweep, NonspecSuiteSweepDeterministicAcrossJobCounts)
+{
+    // The acceptance contract for the new suite: byte-identical
+    // artifacts for any --jobs N (the same contract spec2000 carries).
+    SweepSpec spec;
+    spec.benches = {"graph.bfs", "join.probe", "kv.get"};
+    const SimConfig cfg;
+    spec.variants = {{"base", CoreKind::InOrder, cfg},
+                     {"icfp", CoreKind::ICfp, cfg}};
+    spec.insts = 3000;
+    SweepEngine serial(1);
+    SweepEngine parallel(8);
+    EXPECT_EQ(sweepCsv(serial.run(spec)), sweepCsv(parallel.run(spec)));
 }
 
 TEST(Sweep, DefaultJobsHonorsEnv)

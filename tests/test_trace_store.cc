@@ -117,6 +117,52 @@ TEST_F(TraceStoreTest, KeysOnFullBenchInstsSeedTuple)
     EXPECT_NE(traceBytes(*a), traceBytes(*c));
 }
 
+TEST_F(TraceStoreTest, WorkloadDefVersionBumpInvalidatesStoredTrace)
+{
+    // Editing one benchmark's generator and bumping its
+    // BenchmarkSpec::defVersion must invalidate exactly that
+    // benchmark's stored traces: same file name, so the old file is
+    // found, but the embedded key no longer matches — the store treats
+    // it as corruption, deletes it, and the caller regenerates.
+    TraceStore store(dir_);
+    TraceId v1{"gzip", 1000, std::nullopt, 1};
+    TraceId v2 = v1;
+    v2.defVersion = 2;
+    ASSERT_EQ(v1.fileName(), v2.fileName()); // version lives in the key
+    ASSERT_NE(v1.keyString(), v2.keyString());
+
+    store.store(v1, genTrace("gzip", 1000));
+    EXPECT_TRUE(store.load(v1).has_value());
+
+    EXPECT_FALSE(store.load(v2).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(storePath(v2))); // stale file dropped
+
+    // The regenerated v2 publication serves v2 (and no longer v1).
+    store.store(v2, genTrace("gzip", 1000));
+    EXPECT_TRUE(store.load(v2).has_value());
+    EXPECT_FALSE(store.load(v1).has_value());
+}
+
+TEST_F(TraceStoreTest, EngineStampsBenchmarkDefVersionIntoStoreKeys)
+{
+    // The sweep engine resolves each bench's defVersion into the
+    // TraceId it stores under; a key with a different version must not
+    // serve what the engine wrote.
+    auto shared = std::make_shared<TraceStore>(dir_);
+    SweepEngine engine(1);
+    engine.setTraceStore(shared);
+    (void)engine.trace("gzip", 1000);
+    EXPECT_EQ(engine.traceGenerations(), 1u);
+
+    TraceId current{"gzip", 1000, std::nullopt,
+                    findBenchmark("gzip").defVersion};
+    EXPECT_TRUE(shared->load(current).has_value());
+    TraceId bumped = current;
+    bumped.defVersion = current.defVersion + 1;
+    EXPECT_FALSE(shared->load(bumped).has_value());
+}
+
 TEST_F(TraceStoreTest, KeyMismatchInsideFileIsCorruption)
 {
     // Rename a valid file over another key's slot: the embedded key

@@ -3,22 +3,25 @@
  * icfp-sim — command-line driver for the simulation library.
  *
  * Subcommands:
- *   list                         show the benchmark analog suite
+ *   list    [--suite S]          show one workload suite's benchmarks
+ *   suites                       show the registered workload suites
  *   cores                        show the registered core models
  *   run     --bench B --core C   run one model, print full statistics
  *   compare --bench B            run every model on one benchmark
- *   suite   --core C             run one model over the whole suite
+ *   suite   --core C [--suite S] run one model over a whole suite
  *   sweep   [--benches ...] [--cores ...]  run a (bench × core) grid
  *   merge   [--out F] SHARD...   stitch `sweep --shard` artifacts back
  *                                into the byte-identical unsharded report
  *   perf    [--quick] [--baseline F]  measure simulator throughput over
- *                                the fig5 grid; emits BENCH_perf.json
+ *                                one suite's grid; emits BENCH_perf.json
  *   trace   --bench B --save-trace F   generate + save a golden trace
  *   disasm  --bench B [--n N]    print the first N dynamic instructions
  *
  * Common options:
  *   --insts N        dynamic instruction budget (default 200000)
  *   --seed S         workload RNG seed override
+ *   --suite S        workload suite (list/compare/suite/sweep/perf;
+ *                    default spec2000; see `icfp-sim suites`)
  *   --l2-lat N       L2 hit latency in cycles (Figure 6 sweeps)
  *   --mem-lat N      memory latency in cycles
  *   --poison-bits N  iCFP poison-vector width (1..16)
@@ -65,6 +68,8 @@
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/trace_store.hh"
+#include "workloads/nonspec_suites.hh"
+#include "workloads/suite_registry.hh"
 
 namespace {
 
@@ -75,7 +80,10 @@ struct Options
 {
     std::string command;
     std::string bench = "mcf";
+    bool benchSet = false; ///< --bench given explicitly
     std::string core = "icfp";
+    std::string suite = kDefaultSuiteName;
+    bool suiteSet = false; ///< --suite given explicitly
     uint64_t insts = kDefaultBenchInsts;
     bool instsSet = false; ///< --insts given explicitly
     std::optional<uint64_t> seed;
@@ -115,8 +123,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: icfp-sim "
-                 "<list|cores|run|compare|suite|sweep|merge|perf|trace|"
-                 "disasm> [options]\n"
+                 "<list|suites|cores|run|compare|suite|sweep|merge|perf|"
+                 "trace|disasm> [options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
 }
@@ -139,8 +147,12 @@ parseArgs(int argc, char **argv, Options *opt)
         };
         if (arg == "--bench") {
             opt->bench = next();
+            opt->benchSet = true;
         } else if (arg == "--core") {
             opt->core = next();
+        } else if (arg == "--suite") {
+            opt->suite = next();
+            opt->suiteSet = true;
         } else if (arg == "--insts") {
             opt->insts = std::strtoull(next(), nullptr, 0);
             opt->instsSet = true;
@@ -310,13 +322,13 @@ splitList(const std::string &list)
     return items;
 }
 
-/** Resolve --benches: "all" means the full suite. */
+/** Resolve --benches: "all" means the whole --suite. */
 std::vector<std::string>
-resolveBenches(const std::string &list)
+resolveBenches(const std::string &list, const std::string &suite)
 {
     if (list == "all") {
         std::vector<std::string> names;
-        for (const BenchmarkSpec &spec : spec2000Suite())
+        for (const BenchmarkSpec &spec : findSuite(suite))
             names.push_back(spec.name);
         return names;
     }
@@ -470,17 +482,30 @@ printResult(const RunResult &r)
 }
 
 int
-cmdList()
+cmdList(const Options &opt)
 {
     Table t("Benchmark analogs (paper Table 2 reference miss rates)");
     t.setColumns({"bench", "fp?", "paper D$/KI", "paper L2/KI"});
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
+    for (const BenchmarkSpec &spec : findSuite(opt.suite)) {
         t.addRow(spec.name,
                  {spec.isFp ? 1.0 : 0.0, spec.paperDcacheMissKi,
                   spec.paperL2MissKi},
                  0);
     }
     t.print();
+    return 0;
+}
+
+int
+cmdSuites()
+{
+    std::printf("registered workload suites:\n");
+    for (const std::string &name : suiteNames()) {
+        const SuiteRegistry &registry = SuiteRegistry::instance();
+        std::printf("  %-10s %2zu benches  %s\n", name.c_str(),
+                    registry.suite(name).size(),
+                    registry.description(name).c_str());
+    }
     return 0;
 }
 
@@ -508,8 +533,13 @@ cmdRun(const Options &opt)
 }
 
 int
-cmdCompare(const Options &opt)
+cmdCompare(const Options &original)
 {
+    Options opt = original;
+    // --suite selects the benchmark namespace: without an explicit
+    // --bench, compare the models on the suite's first benchmark.
+    if (opt.suiteSet && !opt.benchSet)
+        opt.bench = findSuite(opt.suite).front().name;
     const SimConfig cfg = makeConfig(opt);
     const std::vector<SweepVariant> variants =
         coreVariants(CoreRegistry::instance().kinds(), cfg);
@@ -575,7 +605,7 @@ cmdSuite(const Options &opt)
         return 1;
     }
     SweepSpec spec;
-    spec.benches = resolveBenches("all");
+    spec.benches = resolveBenches("all", opt.suite);
     spec.variants = {{opt.core, *kind, makeConfig(opt)}};
     spec.insts = opt.insts;
     spec.seed = opt.seed;
@@ -616,7 +646,7 @@ cmdSweep(const Options &opt)
         return 1;
     }
     SweepSpec spec;
-    spec.benches = resolveBenches(opt.benches);
+    spec.benches = resolveBenches(opt.benches, opt.suite);
     // Validate names before touching the output file (findBenchmark is
     // fatal on a typo, and must not cost the user an existing report).
     for (const std::string &bench : spec.benches)
@@ -700,6 +730,7 @@ int
 cmdPerf(const Options &opt)
 {
     PerfOptions perf;
+    perf.suite = opt.suite;
     perf.quick = opt.quick;
     perf.reps = opt.perfRepsSet ? opt.perfReps : (opt.quick ? 1 : 3);
     perf.warmup = opt.perfWarmupSet ? opt.perfWarmup
@@ -716,6 +747,22 @@ cmdPerf(const Options &opt)
         baseline = readPerfBaseline(*opt.baseline);
         if (!baseline)
             return 1; // a requested comparison that can't happen is an error
+        // Refuse a cross-suite comparison: a "speedup" of nonspec
+        // pointer-chasing over the fig5 SPEC grid is meaningless, and
+        // would be baked into the emitted artifact as if measured.
+        // (quick vs full of the SAME suite is allowed — that is a
+        // budget difference, the classic before/after workflow.)
+        const std::string current =
+            perfGridSuitePart(perfGridName(opt.suite, opt.quick));
+        if (!baseline->grid.empty() &&
+            perfGridSuitePart(baseline->grid) != current) {
+            std::fprintf(stderr,
+                         "perf: baseline %s measured grid '%s' but this "
+                         "run is '%s'; rerun with a matching --suite\n",
+                         opt.baseline->c_str(), baseline->grid.c_str(),
+                         current.c_str());
+            return 1;
+        }
     }
 
     const PerfReport report = runPerfHarness(perf);
@@ -810,8 +857,24 @@ main(int argc, char **argv)
                      "(sweep, compare, suite)\n");
         return 1;
     }
+    if (opt.suiteSet && opt.command != "list" && opt.command != "compare" &&
+        opt.command != "suite" && opt.command != "sweep" &&
+        opt.command != "perf") {
+        std::fprintf(stderr,
+                     "--suite only applies to list, compare, suite, "
+                     "sweep, and perf\n");
+        return 1;
+    }
+    if (opt.suiteSet && !SuiteRegistry::instance().has(opt.suite)) {
+        std::fprintf(stderr,
+                     "unknown suite '%s' (see 'icfp-sim suites')\n",
+                     opt.suite.c_str());
+        return 1;
+    }
     if (opt.command == "list")
-        return cmdList();
+        return cmdList(opt);
+    if (opt.command == "suites")
+        return cmdSuites();
     if (opt.command == "cores")
         return cmdCores();
     if (opt.command == "run")
