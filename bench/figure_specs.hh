@@ -442,6 +442,186 @@ suiteSpeedupTable(const std::string &suite_name, const SweepSpec &spec,
     return table;
 }
 
+// --------------------------------------------------------------- Table 2
+
+/** The Table 2 diagnostics grid: the whole spec2000 suite ×
+ *  (in-order, runahead, iCFP) at Table 1 defaults. */
+inline SweepSpec
+table2Spec(uint64_t insts)
+{
+    SweepSpec spec;
+    spec.benches = suiteBenchNames();
+    const SimConfig cfg;
+    spec.variants = {{"in-order", CoreKind::InOrder, cfg},
+                     {"runahead", CoreKind::Runahead, cfg},
+                     {"icfp", CoreKind::ICfp, cfg}};
+    spec.insts = insts;
+    return spec;
+}
+
+/** Assemble the Table 2 diagnostics table from grid-order results
+ *  (rows, precision, and notes exactly as the legacy serial harness). */
+inline Table
+table2Table(const SweepSpec &spec, const std::vector<SweepResult> &results)
+{
+    Table table("Table 2: iCFP diagnostics (paper reference values in "
+                "parentheses columns)");
+    table.setColumns({"bench", "D$/KI", "(ppr)", "L2/KI", "(ppr)",
+                      "D$MLP iO", "D$MLP RA", "D$MLP iCFP", "L2MLP iO",
+                      "L2MLP RA", "L2MLP iCFP", "Rally/KI"});
+
+    const size_t stride = spec.variants.size();
+    for (size_t b = 0; b < spec.benches.size(); ++b) {
+        const BenchmarkSpec &bench = findBenchmark(spec.benches[b]);
+        const RunResult &io = results[b * stride + 0].result;
+        const RunResult &ra = results[b * stride + 1].result;
+        const RunResult &ic = results[b * stride + 2].result;
+        table.addRow(spec.benches[b],
+                     {io.missPerKi(io.mem.dcacheMisses),
+                      bench.paperDcacheMissKi,
+                      io.missPerKi(io.mem.l2Misses), bench.paperL2MissKi,
+                      io.dcacheMlp, ra.dcacheMlp, ic.dcacheMlp, io.l2Mlp,
+                      ra.l2Mlp, ic.l2Mlp, ic.rallyPerKi()},
+                     1);
+    }
+
+    table.addNote("");
+    table.addNote("Expected shape (paper Table 2): iCFP MLP >= RA MLP >= "
+                  "in-order MLP nearly everywhere;");
+    table.addNote("Rally/KI large for dependent-miss codes (paper: mcf "
+                  "2876, ammp 428, twolf 224, vpr 187).");
+    return table;
+}
+
+// ----------------------------------------------------------- Section 5.3
+
+/** The Section 5.3 out-of-order-context grid: the whole spec2000 suite
+ *  × (in-order base, iCFP, OoO, CFP) at Table 1 defaults. */
+inline SweepSpec
+sec53Spec(uint64_t insts)
+{
+    SweepSpec spec;
+    spec.benches = suiteBenchNames();
+    const SimConfig cfg;
+    spec.variants = {{"base", CoreKind::InOrder, cfg},
+                     {"icfp", CoreKind::ICfp, cfg},
+                     {"ooo", CoreKind::Ooo, cfg},
+                     {"cfp", CoreKind::Cfp, cfg}};
+    spec.insts = insts;
+    return spec;
+}
+
+/** Assemble the Section 5.3 table from grid-order results (rows,
+ *  precision, and notes exactly as the legacy serial harness). */
+inline Table
+sec53Table(const SweepSpec &spec, const std::vector<SweepResult> &results)
+{
+    Table table("Section 5.3: out-of-order context "
+                "(" + std::to_string(spec.insts) + " insts/benchmark)");
+    table.setColumns({"bench", "base IPC", "iCFP %", "OoO %", "CFP %"});
+
+    const size_t stride = spec.variants.size();
+    std::vector<double> r_ic, r_ooo, r_cfp;
+    for (size_t b = 0; b < spec.benches.size(); ++b) {
+        const RunResult &base = results[b * stride + 0].result;
+        const RunResult &ic = results[b * stride + 1].result;
+        const RunResult &ooo = results[b * stride + 2].result;
+        const RunResult &cfp = results[b * stride + 3].result;
+        table.addRow(spec.benches[b],
+                     {base.ipc(), percentSpeedup(base, ic),
+                      percentSpeedup(base, ooo),
+                      percentSpeedup(base, cfp)},
+                     1);
+        auto ratio = [&base](const RunResult &r) {
+            return double(base.cycles) / double(r.cycles);
+        };
+        r_ic.push_back(ratio(ic));
+        r_ooo.push_back(ratio(ooo));
+        r_cfp.push_back(ratio(cfp));
+    }
+
+    table.addNote("");
+    table.addRow("SPEC geomean",
+                 {0.0, geomeanSpeedupPct(r_ic), geomeanSpeedupPct(r_ooo),
+                  geomeanSpeedupPct(r_cfp)},
+                 1);
+    table.addNote("paper: iCFP +16%, 2-way out-of-order +68%, "
+                  "out-of-order CFP +83% (Section 5.3)");
+    return table;
+}
+
+// ----------------------------------------------------------- Poison bits
+
+/** The poison-vector-width study widths, in legacy column order. */
+inline const std::vector<unsigned> &
+poisonBitsWidths()
+{
+    static const std::vector<unsigned> widths = {1, 2, 4, 8};
+    return widths;
+}
+
+/** The Section 3.4 poison-width grid: the whole spec2000 suite ×
+ *  (in-order base + iCFP at 1/2/4/8 poison bits). */
+inline SweepSpec
+poisonBitsSpec(uint64_t insts)
+{
+    SweepSpec spec;
+    spec.benches = suiteBenchNames();
+    const SimConfig base_cfg;
+    spec.variants.push_back({"base", CoreKind::InOrder, base_cfg});
+    for (const unsigned width : poisonBitsWidths()) {
+        // Like the legacy serial loop: only the iCFP poison width is
+        // swept (the memory hierarchy keeps its Table 1 default).
+        SimConfig cfg;
+        cfg.icfp.poisonBits = width;
+        spec.variants.push_back(
+            {"pb=" + std::to_string(width), CoreKind::ICfp, cfg});
+    }
+    spec.insts = insts;
+    return spec;
+}
+
+/** Assemble the poison-width table from grid-order results (rows,
+ *  precision, and notes exactly as the legacy serial harness). */
+inline Table
+poisonBitsTable(const SweepSpec &spec,
+                const std::vector<SweepResult> &results)
+{
+    Table table("Poison vector width: iCFP % speedup over in-order");
+    table.setColumns({"bench", "1 bit", "2 bits", "4 bits", "8 bits",
+                      "8b over 1b %"});
+
+    const size_t stride = spec.variants.size();
+    std::vector<std::vector<double>> ratios(poisonBitsWidths().size());
+    for (size_t b = 0; b < spec.benches.size(); ++b) {
+        const RunResult &base = results[b * stride].result;
+        std::vector<double> row;
+        Cycle cycles1 = 0, cycles8 = 0;
+        for (size_t w = 0; w < poisonBitsWidths().size(); ++w) {
+            const RunResult &r = results[b * stride + 1 + w].result;
+            row.push_back(percentSpeedup(base, r));
+            ratios[w].push_back(double(base.cycles) / double(r.cycles));
+            if (poisonBitsWidths()[w] == 1)
+                cycles1 = r.cycles;
+            if (poisonBitsWidths()[w] == 8)
+                cycles8 = r.cycles;
+        }
+        row.push_back(100.0 * (double(cycles1) / double(cycles8) - 1.0));
+        table.addRow(spec.benches[b], row, 1);
+    }
+
+    table.addNote("");
+    std::vector<double> mean_row;
+    for (const auto &r : ratios)
+        mean_row.push_back(geomeanSpeedupPct(r));
+    table.addRow("geomean", mean_row, 1);
+
+    table.addNote("");
+    table.addNote("Paper (Section 3.4): 8 poison bits gain 1.5% on "
+                  "average over a single bit; mcf gains 6%.");
+    return table;
+}
+
 // ------------------------------------------------------------ Chain table
 
 /** The chain-table sensitivity grid: the whole spec2000 suite × the

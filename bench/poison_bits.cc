@@ -3,9 +3,16 @@
  * Section 3.4 poison-vector width study: iCFP speedup over in-order with
  * 1, 2, 4, and 8 poison bits. The paper reports that 8 bits buy 1.5% on
  * average over a single bit, with mcf gaining 6%.
+ *
+ * Runs its (bench × width) grid on the sweep engine via
+ * bench/figure_specs.hh (table byte-identical to the legacy serial
+ * loop, pinned by tests/test_sweep.cc): traces shared through the
+ * engine cache + persistent store, threads from ICFP_SWEEP_JOBS, raw
+ * grid via ICFP_BENCH_CSV.
  */
 
 #include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -13,52 +20,10 @@ using namespace icfp::bench;
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    const unsigned widths[] = {1, 2, 4, 8};
-    std::vector<SweepResult> grid;
-
-    Table table("Poison vector width: iCFP % speedup over in-order");
-    table.setColumns({"bench", "1 bit", "2 bits", "4 bits", "8 bits",
-                      "8b over 1b %"});
-
-    std::vector<std::vector<double>> ratios(std::size(widths));
-
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        const Trace &trace = traces.get(spec.name);
-        SimConfig base_cfg;
-        const RunResult base = simulate(CoreKind::InOrder, base_cfg, trace);
-        grid.push_back({spec.name, "base", CoreKind::InOrder, base});
-
-        std::vector<double> row;
-        Cycle cycles1 = 0, cycles8 = 0;
-        for (size_t w = 0; w < std::size(widths); ++w) {
-            SimConfig cfg;
-            cfg.icfp.poisonBits = widths[w];
-            const RunResult r = simulate(CoreKind::ICfp, cfg, trace);
-            grid.push_back({spec.name, "pb=" + std::to_string(widths[w]),
-                            CoreKind::ICfp, r});
-            row.push_back(percentSpeedup(base, r));
-            ratios[w].push_back(double(base.cycles) / double(r.cycles));
-            if (widths[w] == 1)
-                cycles1 = r.cycles;
-            if (widths[w] == 8)
-                cycles8 = r.cycles;
-        }
-        row.push_back(100.0 * (double(cycles1) / double(cycles8) - 1.0));
-        table.addRow(spec.name, row, 1);
-    }
-
-    table.addNote("");
-    std::vector<double> mean_row;
-    for (const auto &r : ratios)
-        mean_row.push_back(geomeanSpeedupPct(r));
-    table.addRow("geomean", mean_row, 1);
-
-    table.addNote("");
-    table.addNote("Paper (Section 3.4): 8 poison bits gain 1.5% on "
-                  "average over a single bit; mcf gains 6%.");
-    table.print();
-    writeBenchCsv("poison_bits", grid);
+    const SweepSpec spec = poisonBitsSpec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    poisonBitsTable(spec, results).print();
+    writeBenchCsv("poison_bits", results);
     return 0;
 }

@@ -6,11 +6,16 @@
  * +16% — the point being that iCFP recovers a useful slice of the
  * out-of-order advantage at a tiny fraction of the area (see
  * bench/area_overheads).
+ *
+ * Runs its (bench × scheme) grid on the sweep engine via
+ * bench/figure_specs.hh (table byte-identical to the legacy serial
+ * loop, pinned by tests/test_sweep.cc): traces shared through the
+ * engine cache + persistent store, threads from ICFP_SWEEP_JOBS, raw
+ * grid via ICFP_BENCH_CSV.
  */
 
-#include <cstdio>
-
 #include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -18,48 +23,10 @@ using namespace icfp::bench;
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    SimConfig cfg;
-    std::vector<SweepResult> grid;
-
-    Table table("Section 5.3: out-of-order context "
-                "(" + std::to_string(insts) + " insts/benchmark)");
-    table.setColumns({"bench", "base IPC", "iCFP %", "OoO %", "CFP %"});
-
-    std::vector<double> r_ic, r_ooo, r_cfp;
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        const Trace &trace = traces.get(spec.name);
-        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
-        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
-        const RunResult ooo = simulate(CoreKind::Ooo, cfg, trace);
-        const RunResult cfp = simulate(CoreKind::Cfp, cfg, trace);
-        grid.push_back({spec.name, "base", CoreKind::InOrder, base});
-        grid.push_back({spec.name, "icfp", CoreKind::ICfp, ic});
-        grid.push_back({spec.name, "ooo", CoreKind::Ooo, ooo});
-        grid.push_back({spec.name, "cfp", CoreKind::Cfp, cfp});
-
-        table.addRow(spec.name,
-                     {base.ipc(), percentSpeedup(base, ic),
-                      percentSpeedup(base, ooo), percentSpeedup(base, cfp)},
-                     1);
-
-        auto ratio = [&base](const RunResult &r) {
-            return double(base.cycles) / double(r.cycles);
-        };
-        r_ic.push_back(ratio(ic));
-        r_ooo.push_back(ratio(ooo));
-        r_cfp.push_back(ratio(cfp));
-    }
-
-    table.addNote("");
-    table.addRow("SPEC geomean",
-                 {0.0, geomeanSpeedupPct(r_ic), geomeanSpeedupPct(r_ooo),
-                  geomeanSpeedupPct(r_cfp)},
-                 1);
-    table.addNote("paper: iCFP +16%, 2-way out-of-order +68%, "
-                  "out-of-order CFP +83% (Section 5.3)");
-    table.print();
-    writeBenchCsv("sec53_ooo", grid);
+    const SweepSpec spec = sec53Spec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    sec53Table(spec, results).print();
+    writeBenchCsv("sec53_ooo", results);
     return 0;
 }

@@ -4,9 +4,16 @@
  * and L2 misses per 1000 instructions, D$/L2 MLP for in-order, Runahead,
  * and iCFP, and iCFP slice instructions re-executed per 1000 instructions
  * (Rally/KI).
+ *
+ * Runs its (bench × scheme) grid on the sweep engine via
+ * bench/figure_specs.hh (table byte-identical to the legacy serial
+ * loop, pinned by tests/test_sweep.cc): traces shared through the
+ * engine cache + persistent store, threads from ICFP_SWEEP_JOBS, raw
+ * grid via ICFP_BENCH_CSV.
  */
 
 #include "bench_util.hh"
+#include "figure_specs.hh"
 
 using namespace icfp;
 using namespace icfp::bench;
@@ -14,41 +21,10 @@ using namespace icfp::bench;
 int
 main()
 {
-    const uint64_t insts = benchInstBudget();
-    TraceCache traces(insts);
-    SimConfig cfg;
-    std::vector<SweepResult> grid;
-
-    Table table("Table 2: iCFP diagnostics (paper reference values in "
-                "parentheses columns)");
-    table.setColumns({"bench", "D$/KI", "(ppr)", "L2/KI", "(ppr)",
-                      "D$MLP iO", "D$MLP RA", "D$MLP iCFP", "L2MLP iO",
-                      "L2MLP RA", "L2MLP iCFP", "Rally/KI"});
-
-    for (const BenchmarkSpec &spec : spec2000Suite()) {
-        const Trace &trace = traces.get(spec.name);
-        const RunResult io = simulate(CoreKind::InOrder, cfg, trace);
-        const RunResult ra = simulate(CoreKind::Runahead, cfg, trace);
-        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
-        grid.push_back({spec.name, "in-order", CoreKind::InOrder, io});
-        grid.push_back({spec.name, "runahead", CoreKind::Runahead, ra});
-        grid.push_back({spec.name, "icfp", CoreKind::ICfp, ic});
-
-        table.addRow(spec.name,
-                     {io.missPerKi(io.mem.dcacheMisses),
-                      spec.paperDcacheMissKi,
-                      io.missPerKi(io.mem.l2Misses), spec.paperL2MissKi,
-                      io.dcacheMlp, ra.dcacheMlp, ic.dcacheMlp, io.l2Mlp,
-                      ra.l2Mlp, ic.l2Mlp, ic.rallyPerKi()},
-                     1);
-    }
-
-    table.addNote("");
-    table.addNote("Expected shape (paper Table 2): iCFP MLP >= RA MLP >= "
-                  "in-order MLP nearly everywhere;");
-    table.addNote("Rally/KI large for dependent-miss codes (paper: mcf "
-                  "2876, ammp 428, twolf 224, vpr 187).");
-    table.print();
-    writeBenchCsv("table2_diagnostics", grid);
+    const SweepSpec spec = table2Spec(benchInstBudget());
+    SweepEngine engine;
+    const std::vector<SweepResult> results = engine.run(spec);
+    table2Table(spec, results).print();
+    writeBenchCsv("table2_diagnostics", results);
     return 0;
 }

@@ -1,0 +1,95 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace icfp {
+namespace service {
+
+ServiceClient::ServiceClient(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+        throw ProtocolError("socket path '" + socket_path +
+                            "' is empty or too long");
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw ProtocolError(std::string("socket() failed: ") +
+                            std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw ProtocolError("cannot connect to " + socket_path + ": " +
+                            why + " (is the daemon running?)");
+    }
+
+    hello_ = readFrame();
+    if (hello_.type() != "hello") {
+        throw ProtocolError("expected a hello handshake, got '" +
+                            hello_.type() + "'");
+    }
+    const uint64_t proto = hello_.uintField("proto", 0);
+    if (proto != kProtocolVersion) {
+        throw ProtocolError(
+            "protocol version mismatch: daemon speaks v" +
+            std::to_string(proto) + ", this client speaks v" +
+            std::to_string(kProtocolVersion));
+    }
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Frame
+ServiceClient::request(const Frame &request)
+{
+    send(request);
+    return readFrame();
+}
+
+Frame
+ServiceClient::readFrame()
+{
+    std::optional<Frame> frame = service::readFrame(fd_, &buffer_);
+    if (!frame)
+        throw ProtocolError("server closed the connection");
+    return std::move(*frame);
+}
+
+void
+ServiceClient::send(const Frame &frame)
+{
+    writeFrame(fd_, frame);
+}
+
+void
+ServiceClient::sendRaw(const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("write failed: ") +
+                                std::strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+} // namespace service
+} // namespace icfp

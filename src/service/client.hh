@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Client side of the simulation service: connect to a daemon's socket,
+ * verify the versioned handshake, and exchange frames. Wraps the
+ * blocking socket plumbing so the CLI verbs (`icfp-sim submit / status
+ * / result / ping`) and the tests are one-liners over frames.
+ *
+ * @code
+ *   ServiceClient client("/run/icfp.sock");   // connects + checks hello
+ *   Frame submit("submit");
+ *   submit.addString("benches", "mcf,equake");
+ *   submit.addUint("wait", 1);
+ *   Frame ack = client.request(submit);       // "submitted" (or busy)
+ *   Frame result = client.readFrame();        // blocks until done
+ * @endcode
+ *
+ * All failures — no daemon, handshake mismatch, malformed frames —
+ * throw ProtocolError with a message fit for the CLI to print.
+ */
+
+#ifndef ICFP_SERVICE_CLIENT_HH
+#define ICFP_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace icfp {
+namespace service {
+
+class ServiceClient
+{
+  public:
+    /**
+     * Connect to @p socket_path and consume the server's hello.
+     * @throws ProtocolError if the daemon is unreachable or its
+     *         protocol version differs from kProtocolVersion
+     */
+    explicit ServiceClient(const std::string &socket_path);
+
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** The server's handshake frame (sim version + registry fp). */
+    const Frame &hello() const { return hello_; }
+
+    /** Send @p request and read the next response frame. */
+    Frame request(const Frame &request);
+
+    /** Read the next frame (e.g. the result after a wait-submit).
+     *  @throws ProtocolError on EOF — the server never just hangs up
+     *  mid-session */
+    Frame readFrame();
+
+    void send(const Frame &frame);
+
+    /** Ship raw bytes (tests exercise malformed-frame handling). */
+    void sendRaw(const std::string &bytes);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+    Frame hello_;
+};
+
+} // namespace service
+} // namespace icfp
+
+#endif // ICFP_SERVICE_CLIENT_HH

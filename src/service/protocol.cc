@@ -1,0 +1,368 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sim/simulator.hh"
+#include "sim/version_info.hh"
+
+namespace icfp {
+namespace service {
+
+namespace {
+
+[[noreturn]] void
+malformed(const std::string &what)
+{
+    throw ProtocolError("malformed frame: " + what);
+}
+
+/** Decode the JSON string starting at the opening quote @p at; leaves
+ *  @p at one past the closing quote. */
+std::string
+parseJsonString(const std::string &line, size_t *at)
+{
+    std::string out;
+    ++*at; // opening quote
+    while (true) {
+        if (*at >= line.size())
+            malformed("unterminated string");
+        const char c = line[*at];
+        if (c == '"') {
+            ++*at;
+            return out;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            malformed("unescaped control character in string");
+        if (c != '\\') {
+            out += c;
+            ++*at;
+            continue;
+        }
+        if (*at + 1 >= line.size())
+            malformed("truncated escape");
+        const char esc = line[*at + 1];
+        *at += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Only the \u00XX forms jsonEscape() emits (raw bytes are
+            // carried through verbatim otherwise).
+            if (*at + 4 > line.size())
+                malformed("truncated \\u escape");
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+                const char h = line[*at + i];
+                value <<= 4;
+                if (h >= '0' && h <= '9')
+                    value |= h - '0';
+                else if (h >= 'a' && h <= 'f')
+                    value |= h - 'a' + 10;
+                else if (h >= 'A' && h <= 'F')
+                    value |= h - 'A' + 10;
+                else
+                    malformed("bad \\u escape digit");
+            }
+            if (value > 0xff)
+                malformed("non-byte \\u escape (frames carry raw bytes)");
+            out += static_cast<char>(value);
+            *at += 4;
+            break;
+          }
+          default:
+            malformed(std::string("unknown escape \\") + esc);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Frame::addString(const std::string &key, const std::string &value)
+{
+    fields_.push_back({key, value, true});
+}
+
+void
+Frame::addUint(const std::string &key, uint64_t value)
+{
+    fields_.push_back({key, std::to_string(value), false});
+}
+
+const Frame::Field *
+Frame::find(const std::string &key) const
+{
+    for (const Field &field : fields_)
+        if (field.key == key)
+            return &field;
+    return nullptr;
+}
+
+const std::string &
+Frame::type() const
+{
+    static const std::string empty;
+    const Field *field = find("type");
+    return field && field->isString ? field->value : empty;
+}
+
+bool
+Frame::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+std::string
+Frame::stringField(const std::string &key, const std::string &fallback) const
+{
+    const Field *field = find(key);
+    if (!field)
+        return fallback;
+    if (!field->isString)
+        throw ProtocolError("field '" + key + "' is not a string");
+    return field->value;
+}
+
+std::optional<uint64_t>
+Frame::uintField(const std::string &key) const
+{
+    const Field *field = find(key);
+    if (!field)
+        return std::nullopt;
+    if (field->isString)
+        throw ProtocolError("field '" + key + "' is not an integer");
+    return std::strtoull(field->value.c_str(), nullptr, 10);
+}
+
+uint64_t
+Frame::uintField(const std::string &key, uint64_t fallback) const
+{
+    return uintField(key).value_or(fallback);
+}
+
+std::string
+Frame::serialize() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        const Field &field = fields_[i];
+        if (i)
+            out += ",";
+        out += '"';
+        out += jsonEscape(field.key);
+        out += "\":";
+        if (field.isString) {
+            out += '"';
+            out += jsonEscape(field.value);
+            out += '"';
+        } else {
+            out += field.value;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+Frame
+Frame::parse(const std::string &line)
+{
+    Frame frame;
+    size_t at = 0;
+    auto skipSpace = [&] {
+        while (at < line.size() && (line[at] == ' ' || line[at] == '\t'))
+            ++at;
+    };
+
+    skipSpace();
+    if (at >= line.size() || line[at] != '{')
+        malformed("expected '{'");
+    ++at;
+    skipSpace();
+    if (at < line.size() && line[at] == '}') {
+        ++at;
+    } else {
+        while (true) {
+            skipSpace();
+            if (at >= line.size() || line[at] != '"')
+                malformed("expected a quoted key");
+            Field field;
+            field.key = parseJsonString(line, &at);
+            skipSpace();
+            if (at >= line.size() || line[at] != ':')
+                malformed("expected ':' after key '" + field.key + "'");
+            ++at;
+            skipSpace();
+            if (at >= line.size())
+                malformed("missing value for key '" + field.key + "'");
+            if (line[at] == '"') {
+                field.isString = true;
+                field.value = parseJsonString(line, &at);
+            } else if (line[at] >= '0' && line[at] <= '9') {
+                const size_t start = at;
+                while (at < line.size() && line[at] >= '0' &&
+                       line[at] <= '9') {
+                    ++at;
+                }
+                field.value = line.substr(start, at - start);
+                // UINT64_MAX is 20 digits; a 20-digit value can still
+                // overflow, and strtoull would silently clamp it.
+                if (field.value.size() > 20 ||
+                    (field.value.size() == 20 &&
+                     field.value > "18446744073709551615")) {
+                    malformed("integer overflows uint64");
+                }
+            } else {
+                // No nesting, arrays, floats, booleans, or null: the
+                // protocol is flat by design, and anything else on the
+                // wire is a bug or a foreign speaker.
+                malformed("unsupported value for key '" + field.key + "'");
+            }
+            frame.fields_.push_back(std::move(field));
+            skipSpace();
+            if (at < line.size() && line[at] == ',') {
+                ++at;
+                continue;
+            }
+            if (at < line.size() && line[at] == '}') {
+                ++at;
+                break;
+            }
+            malformed("expected ',' or '}'");
+        }
+    }
+    skipSpace();
+    if (at != line.size())
+        malformed("trailing bytes after '}'");
+    if (frame.type().empty())
+        malformed("missing \"type\" field");
+    return frame;
+}
+
+Frame
+helloFrame()
+{
+    Frame hello("hello");
+    hello.addUint("proto", kProtocolVersion);
+    hello.addUint("sim", kSimSemanticsVersion);
+    hello.addString("fp", fingerprintHex(registryFingerprint()));
+    return hello;
+}
+
+Frame
+errorFrame(const std::string &message)
+{
+    Frame error("error");
+    error.addString("message", message);
+    return error;
+}
+
+std::optional<Frame>
+readFrame(int fd, std::string *buffer)
+{
+    // Scan only bytes not examined on a previous pass: a frame near the
+    // size cap arrives in hundreds of chunks, and rescanning the whole
+    // buffer each time would make the receive quadratic.
+    size_t scanned = 0;
+    while (true) {
+        const size_t nl = buffer->find('\n', scanned);
+        scanned = buffer->size();
+        if (nl != std::string::npos) {
+            const std::string line = buffer->substr(0, nl);
+            buffer->erase(0, nl + 1);
+            return Frame::parse(line);
+        }
+        if (buffer->size() > kMaxFrameBytes)
+            throw ProtocolError("frame exceeds " +
+                                std::to_string(kMaxFrameBytes) + " bytes");
+
+        char chunk[65536];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("read failed: ") +
+                                std::strerror(errno));
+        }
+        if (n == 0) {
+            if (!buffer->empty())
+                throw ProtocolError("connection closed mid-frame");
+            return std::nullopt;
+        }
+        buffer->append(chunk, static_cast<size_t>(n));
+    }
+}
+
+void
+writeFrame(int fd, const Frame &frame)
+{
+    std::string line = frame.serialize();
+    line += '\n';
+    // Whole-frame deadline: a per-send SO_SNDTIMEO alone would let a
+    // peer that trickle-reads a multi-MB frame park this thread forever
+    // (each send makes token progress inside its own timeout window).
+    // Five minutes is orders of magnitude beyond any local-socket frame;
+    // note the check only fires when sends actually return (a socket
+    // without a send timeout can still block in one call).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(5);
+    size_t sent = 0;
+    while (sent < line.size()) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE here,
+        // not as a process-killing SIGPIPE in a handler thread.
+        const ssize_t n = ::send(fd, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("write failed: ") +
+                                std::strerror(errno));
+        }
+        sent += static_cast<size_t>(n);
+        if (sent < line.size() &&
+            std::chrono::steady_clock::now() > deadline) {
+            throw ProtocolError("write timed out (peer reading too "
+                                "slowly)");
+        }
+    }
+}
+
+} // namespace service
+} // namespace icfp

@@ -1,0 +1,89 @@
+#include "service/result_cache.hh"
+
+#include "sim/merge.hh"
+#include "sim/version_info.hh"
+
+namespace icfp {
+namespace service {
+
+uint64_t
+resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
+               std::optional<uint64_t> seed, const std::string &suite,
+               const std::string &format, uint64_t registry_fp)
+{
+    // gridFingerprint already covers benches, variant labels, cores,
+    // insts, seed, sim-semantics + trace-gen versions, and the report
+    // schema; the extra identity adds what a *service* request also
+    // varies on (suite namespace, output format) and the registry
+    // fingerprint (per-bench defVersions and registry contents).
+    const std::string extra = "suite=" + suite + " format=" + format +
+                              " rfp=" + fingerprintHex(registry_fp);
+    return gridFingerprint(grid, insts, seed, extra);
+}
+
+std::optional<std::string>
+ResultCache::lookup(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second); // refresh: now newest
+    ++stats_.hits;
+    return it->second->artifact;
+}
+
+void
+ResultCache::insert(uint64_t key, std::string artifact)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= it->second->artifact.size();
+        bytes_ += artifact.size();
+        it->second->artifact = std::move(artifact);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (max_bytes_ > 0 && artifact.size() > max_bytes_)
+        return; // would evict everything else and still not fit
+
+    bytes_ += artifact.size();
+    lru_.push_front({key, std::move(artifact)});
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+
+    while (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1) {
+        const Entry &victim = lru_.back();
+        bytes_ -= victim.artifact.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+uint64_t
+ResultCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+size_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace service
+} // namespace icfp

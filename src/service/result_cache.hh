@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The service daemon's rendered-result cache: the layer above the
+ * persistent trace store (sim/trace_store.hh) that makes a warm daemon
+ * answer a repeated sweep with zero trace generations AND zero replays.
+ *
+ * The trace store memoizes the *input* half of a sweep (golden traces);
+ * this cache memoizes the *output* half — the fully rendered CSV/JSON
+ * artifact, byte-identical to what a cold `icfp-sim sweep` run would
+ * emit, keyed by the complete identity of the request:
+ *
+ *   resultCacheKey = gridFingerprint(grid, insts, seed, …)   // benches,
+ *       variant labels, cores, insts, seed, sim-semantics +  // (merge.hh)
+ *       trace-gen versions, report schema
+ *     ⊕ suite + output format
+ *     ⊕ registryFingerprint()                                // per-bench
+ *       // defVersions, core/suite registries, trace-io format
+ *       // (sim/version_info.hh)
+ *
+ * Because every version constant and every benchmark's defVersion is
+ * folded in, bumping any of them changes the key and the daemon
+ * recomputes instead of serving stale bytes — the same invalidation
+ * discipline the trace store applies to traces.
+ *
+ * In-memory only (a daemon's lifetime is the cache's lifetime), LRU
+ * over a byte cap, thread-safe.
+ */
+
+#ifndef ICFP_SERVICE_RESULT_CACHE_HH
+#define ICFP_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace icfp {
+namespace service {
+
+/**
+ * The full identity of one rendered sweep artifact. @p registry_fp is a
+ * parameter (rather than read from the live registries) so tests can
+ * prove that a bumped defVersion or sim version moves the key; callers
+ * pass registryFingerprint().
+ */
+uint64_t resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
+                        std::optional<uint64_t> seed,
+                        const std::string &suite, const std::string &format,
+                        uint64_t registry_fp);
+
+/** A byte-capped LRU map: result fingerprint → rendered artifact. */
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+    };
+
+    /** @param max_bytes artifact-byte cap; 0 = unlimited */
+    explicit ResultCache(uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+    /** The artifact for @p key, refreshing its LRU position. */
+    std::optional<std::string> lookup(uint64_t key);
+
+    /**
+     * Publish @p artifact under @p key, then enforce the byte cap
+     * (evicting least-recently-used entries, never the new one). An
+     * artifact larger than the whole cap is not stored at all.
+     * Re-inserting an existing key refreshes it (the bytes are
+     * identical by construction — the key is the full identity).
+     */
+    void insert(uint64_t key, std::string artifact);
+
+    Stats stats() const;
+    uint64_t bytes() const;
+    size_t entries() const;
+    uint64_t maxBytes() const { return max_bytes_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        std::string artifact;
+    };
+
+    uint64_t max_bytes_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< most-recently-used first
+    std::map<uint64_t, std::list<Entry>::iterator> index_;
+    uint64_t bytes_ = 0;
+    Stats stats_;
+};
+
+} // namespace service
+} // namespace icfp
+
+#endif // ICFP_SERVICE_RESULT_CACHE_HH

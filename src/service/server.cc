@@ -1,0 +1,578 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/trace_store.hh"
+#include "sim/version_info.hh"
+#include "workloads/suite_registry.hh"
+
+namespace icfp {
+namespace service {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_(options_.jobs),
+      cache_(options_.resultCacheMaxBytes)
+{
+    if (options_.traceDir) {
+        engine_.setTraceStore(std::make_shared<TraceStore>(
+            *options_.traceDir, TraceStore::maxBytesFromEnv()));
+    }
+    if (options_.queueDepth == 0)
+        options_.queueDepth = 1;
+}
+
+Server::~Server()
+{
+    if (acceptThread_.joinable() || dispatchThread_.joinable()) {
+        requestDrain();
+        join();
+    } else if (listenFd_ >= 0) {
+        ::close(listenFd_);
+    }
+}
+
+void
+Server::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.empty() ||
+        options_.socketPath.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path '" + options_.socketPath +
+                                 "' is empty or too long");
+    }
+    std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+                options_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        throw std::runtime_error(std::string("socket() failed: ") +
+                                 std::strerror(errno));
+    }
+    // A stale socket file from a dead daemon would make bind() fail —
+    // but only ever remove an actual socket (a typo'd --socket naming a
+    // regular file must not delete it), and only after proving no live
+    // daemon still answers on it, or a second `serve` on the same path
+    // would silently steal the first one's clients (and its shutdown
+    // would delete the live daemon's socket file).
+    struct stat existing{};
+    if (::lstat(options_.socketPath.c_str(), &existing) == 0 &&
+        !S_ISSOCK(existing.st_mode)) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error(options_.socketPath +
+                                 " exists and is not a socket");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+        const bool live =
+            ::connect(probe, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0;
+        ::close(probe);
+        if (live) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw std::runtime_error("a daemon is already serving " +
+                                     options_.socketPath);
+        }
+    }
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("cannot listen on " + options_.socketPath +
+                                 ": " + why);
+    }
+
+    std::fprintf(stderr,
+                 "icfp-sim serve: listening on %s (jobs=%u queue-depth=%zu "
+                 "fp=%s)\n",
+                 options_.socketPath.c_str(), engine_.jobs(),
+                 options_.queueDepth,
+                 fingerprintHex(registryFingerprint()).c_str());
+    acceptThread_ = std::thread(&Server::acceptLoop, this);
+    dispatchThread_ = std::thread(&Server::dispatchLoop, this);
+}
+
+void
+Server::requestDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_.store(true);
+    }
+    queueCv_.notify_all();
+}
+
+void
+Server::join()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join(); // exits on the drain flag, closes listener
+    if (dispatchThread_.joinable())
+        dispatchThread_.join(); // exits once every accepted job finished
+
+    // Every job is now Done/Failed and every waiting submitter has been
+    // notified; unblock handler threads parked in read() so they see
+    // EOF and exit. SHUT_RD only: a handler mid-response keeps writing
+    // (its sends are already bounded by the per-socket send timeout).
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const int fd : connFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    std::map<uint64_t, std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        handlers.swap(connThreads_);
+        finishedConns_.clear();
+    }
+    for (auto &[id, thread] : handlers)
+        thread.join();
+
+    ::unlink(options_.socketPath.c_str());
+    const ServerStats s = stats();
+    std::fprintf(stderr,
+                 "icfp-sim serve: drained cleanly (%llu jobs completed, "
+                 "%llu failed)\n",
+                 (unsigned long long)s.completed,
+                 (unsigned long long)s.failed);
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats s = stats_;
+    s.generations = engine_.traceGenerations();
+    s.replays = engine_.replays();
+    return s;
+}
+
+void
+Server::reapFinishedConnections()
+{
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const uint64_t id : finishedConns_) {
+            const auto it = connThreads_.find(id);
+            if (it != connThreads_.end()) {
+                done.push_back(std::move(it->second));
+                connThreads_.erase(it);
+            }
+        }
+        finishedConns_.clear();
+    }
+    // Join outside the lock: the handler signals "finished" as its last
+    // statement, so these joins return as soon as its epilogue runs.
+    for (std::thread &thread : done)
+        thread.join();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!draining_.load()) {
+        reapFinishedConnections();
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue; // timeout or EINTR: recheck the drain flag
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // Bound sends so a client that stops reading its (possibly
+        // multi-megabyte) result cannot park a handler thread forever —
+        // with the write stuck past the timeout, writeFrame fails and
+        // the session ends, which is also what lets drain terminate.
+        const timeval send_timeout{30, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                     sizeof send_timeout);
+        // Connection-count backpressure, mirroring the queue's `busy`
+        // discipline: past the cap, refuse explicitly instead of
+        // spawning an unbounded number of handler threads.
+        constexpr size_t kMaxConnections = 256;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            if (connFds_.size() >= kMaxConnections) {
+                try {
+                    writeFrame(fd, errorFrame("too many connections"));
+                } catch (...) {
+                }
+                ::close(fd);
+                continue;
+            }
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        const uint64_t conn_id = nextConnId_++;
+        connFds_.push_back(fd);
+        connThreads_.emplace(
+            conn_id,
+            std::thread(&Server::handleConnection, this, fd, conn_id));
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+Server::dispatchLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [&] {
+                return !queue_.empty() || draining_.load();
+            });
+            if (queue_.empty())
+                break; // draining and nothing left in flight
+            job = queue_.front();
+            queue_.pop_front();
+            job->state = JobState::Running;
+        }
+        executeJob(job);
+    }
+}
+
+void
+Server::executeJob(const std::shared_ptr<Job> &job)
+{
+    // The work ledger: a ResultCache hit must advance neither counter —
+    // that is the "zero generations and zero replays" service contract.
+    const uint64_t gen_before = engine_.traceGenerations();
+    const uint64_t rep_before = engine_.replays();
+
+    bool cached = false;
+    std::string artifact;
+    std::string error;
+    if (std::optional<std::string> hit = cache_.lookup(job->fingerprint)) {
+        artifact = std::move(*hit);
+        cached = true;
+    } else {
+        try {
+            const std::vector<SweepResult> results =
+                engine_.run(job->grid, job->insts, job->seed);
+            artifact = job->format == "json" ? sweepJson(results)
+                                             : sweepCsv(results);
+            cache_.insert(job->fingerprint, artifact);
+        } catch (const std::exception &e) {
+            error = e.what();
+        }
+    }
+
+    const uint64_t generations = engine_.traceGenerations() - gen_before;
+    const uint64_t replays = engine_.replays() - rep_before;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error.empty()) {
+            job->state = JobState::Failed;
+            job->error = error;
+            ++stats_.failed;
+        } else {
+            job->state = JobState::Done;
+            job->cached = cached;
+            job->artifact = std::move(artifact);
+            ++stats_.completed;
+            ++(cached ? stats_.cacheHits : stats_.cacheMisses);
+        }
+        --activeJobs_;
+        // Bound the finished-job history: waiters hold their own
+        // shared_ptr, so expiring the oldest record only ends its
+        // status/result addressability, never a pending delivery.
+        finishedJobs_.push_back(job->id);
+        while (finishedJobs_.size() > kMaxRetainedJobs) {
+            jobs_.erase(finishedJobs_.front());
+            finishedJobs_.pop_front();
+        }
+    }
+    completeCv_.notify_all();
+
+    if (error.empty()) {
+        std::fprintf(stderr,
+                     "icfp-sim serve: job %llu fp=%s cache=%s "
+                     "generations=%llu replays=%llu rows=%zu bytes=%zu\n",
+                     (unsigned long long)job->id,
+                     fingerprintHex(job->fingerprint).c_str(),
+                     cached ? "hit" : "miss",
+                     (unsigned long long)generations,
+                     (unsigned long long)replays, job->grid.size(),
+                     job->artifact.size());
+    } else {
+        std::fprintf(stderr, "icfp-sim serve: job %llu fp=%s FAILED: %s\n",
+                     (unsigned long long)job->id,
+                     fingerprintHex(job->fingerprint).c_str(),
+                     error.c_str());
+    }
+}
+
+const char *
+Server::stateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+Frame
+Server::jobStatusFrame(const Job &job) const
+{
+    Frame frame("status");
+    frame.addUint("job", job.id);
+    frame.addString("state", stateName(job.state));
+    frame.addUint("cached", job.cached ? 1 : 0);
+    frame.addString("fp", fingerprintHex(job.fingerprint));
+    if (job.state == JobState::Failed)
+        frame.addString("error", job.error);
+    return frame;
+}
+
+Frame
+Server::jobResultFrame(const Job &job) const
+{
+    Frame frame("result");
+    frame.addUint("job", job.id);
+    frame.addUint("cached", job.cached ? 1 : 0);
+    frame.addString("payload", job.artifact);
+    return frame;
+}
+
+Frame
+Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
+{
+    const std::string suite =
+        request.stringField("suite", kDefaultSuiteName);
+    const SuiteRegistry &registry = SuiteRegistry::instance();
+    if (!registry.has(suite))
+        return errorFrame("unknown suite '" + suite + "'");
+    const std::string format = request.stringField("format", "csv");
+    if (format != "csv" && format != "json") {
+        // Only the machine-readable artifact formats: a service result
+        // must be byte-comparable to `icfp-sim sweep --format csv/json`.
+        return errorFrame("format must be csv or json");
+    }
+    const uint64_t insts = request.uintField("insts", kDefaultBenchInsts);
+    if (insts == 0)
+        return errorFrame("insts must be positive");
+    const std::optional<uint64_t> seed = request.uintField("seed");
+
+    SweepSpec spec;
+    const std::string benches = request.stringField("benches", "all");
+    if (benches == "all") {
+        for (const BenchmarkSpec &bench : registry.suite(suite))
+            spec.benches.push_back(bench.name);
+    } else {
+        spec.benches = splitCommaList(benches);
+    }
+    if (spec.benches.empty())
+        return errorFrame("no benchmarks selected");
+    for (const std::string &bench : spec.benches) {
+        // Non-fatal lookup: an unknown name is the client's error, and
+        // a daemon must answer it, not exit.
+        if (!registry.findBenchmark(bench))
+            return errorFrame("unknown benchmark '" + bench + "'");
+    }
+
+    std::vector<CoreKind> kinds;
+    const std::string cores = request.stringField("cores", "all");
+    if (cores == "all") {
+        kinds = CoreRegistry::instance().kinds();
+    } else {
+        for (const std::string &name : splitCommaList(cores)) {
+            const std::optional<CoreKind> kind = parseCoreKind(name);
+            if (!kind)
+                return errorFrame("unknown core '" + name + "'");
+            kinds.push_back(*kind);
+        }
+    }
+    if (kinds.empty())
+        return errorFrame("no cores selected");
+    const SimConfig cfg; // Table 1 defaults, exactly like `sweep`
+    for (const CoreKind kind : kinds)
+        spec.variants.push_back({coreKindName(kind), kind, cfg});
+    spec.insts = insts;
+    spec.seed = seed;
+
+    // Bound the expanded grid: a hostile or confused client could list
+    // one valid bench name millions of times and ask the serial
+    // dispatcher (or expandGrid's allocation) to absorb it. The cap is
+    // also reconciled with kMaxFrameBytes: at ~500 artifact bytes per
+    // grid row, 20000 cells stays safely under the 16MB frame bound, so
+    // an accepted job's result is always deliverable.
+    constexpr size_t kMaxGridCells = 20000;
+    if (spec.benches.size() * spec.variants.size() > kMaxGridCells) {
+        return errorFrame("grid of " +
+                          std::to_string(spec.benches.size() *
+                                         spec.variants.size()) +
+                          " cells exceeds the per-request limit of " +
+                          std::to_string(kMaxGridCells));
+    }
+
+    auto job = std::make_shared<Job>();
+    job->suite = suite;
+    job->format = format;
+    job->grid = expandGrid(spec);
+    job->insts = insts;
+    job->seed = seed;
+    job->fingerprint = resultCacheKey(job->grid, insts, seed, suite,
+                                      format, registryFingerprint());
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_.load())
+            return errorFrame("draining: not accepting new jobs");
+        if (activeJobs_ >= options_.queueDepth) {
+            ++stats_.busy;
+            Frame busy("busy");
+            busy.addUint("depth", options_.queueDepth);
+            return busy;
+        }
+        job->id = nextJobId_++;
+        jobs_[job->id] = job;
+        queue_.push_back(job);
+        ++activeJobs_;
+        ++stats_.submitted;
+    }
+    queueCv_.notify_one();
+
+    *out = job;
+    Frame frame("submitted");
+    frame.addUint("job", job->id);
+    frame.addString("fp", fingerprintHex(job->fingerprint));
+    frame.addUint("rows", job->grid.size());
+    return frame;
+}
+
+void
+Server::handleConnection(int fd, uint64_t conn_id)
+{
+    std::string buffer;
+    try {
+        writeFrame(fd, helloFrame());
+        while (std::optional<Frame> request = readFrame(fd, &buffer)) {
+            const std::string &type = request->type();
+            if (type == "ping") {
+                Frame pong("pong");
+                pong.addUint("proto", kProtocolVersion);
+                pong.addString("fp",
+                               fingerprintHex(registryFingerprint()));
+                writeFrame(fd, pong);
+            } else if (type == "stats") {
+                const ServerStats s = stats();
+                Frame frame("stats");
+                frame.addUint("submitted", s.submitted);
+                frame.addUint("completed", s.completed);
+                frame.addUint("failed", s.failed);
+                frame.addUint("busy", s.busy);
+                frame.addUint("cache_hits", s.cacheHits);
+                frame.addUint("cache_misses", s.cacheMisses);
+                frame.addUint("generations", s.generations);
+                frame.addUint("replays", s.replays);
+                frame.addUint("cache_entries", cache_.entries());
+                frame.addUint("cache_bytes", cache_.bytes());
+                writeFrame(fd, frame);
+            } else if (type == "status" || type == "result") {
+                const std::optional<uint64_t> id =
+                    request->uintField("job");
+                std::shared_ptr<Job> job;
+                if (id) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    const auto it = jobs_.find(*id);
+                    if (it != jobs_.end())
+                        job = it->second;
+                }
+                Frame response = errorFrame(
+                    !id ? "missing job id"
+                        : "unknown job " + std::to_string(*id));
+                if (job) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (type == "status") {
+                        response = jobStatusFrame(*job);
+                    } else if (job->state == JobState::Done) {
+                        response = jobResultFrame(*job);
+                    } else if (job->state == JobState::Failed) {
+                        response = errorFrame("job " +
+                                              std::to_string(job->id) +
+                                              " failed: " + job->error);
+                    } else {
+                        response = errorFrame(
+                            "job " + std::to_string(job->id) +
+                            " not finished (state=" +
+                            stateName(job->state) + ")");
+                    }
+                }
+                writeFrame(fd, response);
+            } else if (type == "submit") {
+                // Validate the wait field before enqueueing: a
+                // type-malformed wait must reject the whole request,
+                // not orphan an already-accepted job.
+                const uint64_t wait = request->uintField("wait", 0);
+                std::shared_ptr<Job> job;
+                writeFrame(fd, handleSubmit(*request, &job));
+                if (job && wait) {
+                    std::unique_lock<std::mutex> lock(mutex_);
+                    completeCv_.wait(lock, [&] {
+                        return job->state == JobState::Done ||
+                               job->state == JobState::Failed;
+                    });
+                    const Frame response =
+                        job->state == JobState::Done
+                            ? jobResultFrame(*job)
+                            : errorFrame("job " + std::to_string(job->id) +
+                                         " failed: " + job->error);
+                    lock.unlock();
+                    writeFrame(fd, response);
+                }
+            } else {
+                writeFrame(fd,
+                           errorFrame("unknown request type '" + type +
+                                      "'"));
+            }
+        }
+    } catch (const std::exception &e) {
+        // A malformed frame, a vanished peer, or any per-request
+        // failure (e.g. an allocation the request provoked) ends this
+        // session with a best-effort diagnostic; an exception escaping
+        // the thread would std::terminate the whole daemon.
+        try {
+            writeFrame(fd, errorFrame(e.what()));
+        } catch (...) {
+        }
+    }
+    // Deregister before close: join() shutdown()s every fd still in
+    // connFds_, and a closed number could have been reused by then.
+    // Marking the connection finished (last) lets the accept loop reap
+    // this thread instead of holding it joinable for the daemon's life.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
+            if (*it == fd) {
+                connFds_.erase(it);
+                break;
+            }
+        }
+        finishedConns_.push_back(conn_id);
+    }
+    ::close(fd);
+}
+
+} // namespace service
+} // namespace icfp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The simulation service daemon: a Unix-domain-socket server that turns
+ * the sweep engine into a long-lived, queryable experiment service.
+ *
+ * Architecture (one resident process, hot caches, many clients):
+ *
+ *   client conns ──► handler threads ──► bounded JobQueue ──► dispatcher
+ *                                                               │
+ *                      ResultCache (rendered artifacts) ◄───────┤
+ *                      TraceStore  (golden traces)      ◄── SweepEngine
+ *                                                           (worker pool)
+ *
+ *  - One handler thread per connection speaks the frame protocol
+ *    (service/protocol.hh): versioned hello, then ping / submit /
+ *    status / result / stats requests.
+ *  - `submit` enqueues a sweep job. The queue is bounded
+ *    (ServerOptions::queueDepth counts queued + running jobs); a full
+ *    queue answers an explicit `busy` frame — backpressure is always
+ *    visible to the client, never a silent drop.
+ *  - The dispatcher executes jobs one at a time in submission order
+ *    (deterministic, and one grid already saturates the host): each
+ *    request's grid is sharded across the engine's worker pool — the
+ *    engine's atomic-counter parallelFor claims grid cells round-robin
+ *    across `--jobs` threads after generating each distinct golden
+ *    trace exactly once — and the results are rendered with the same
+ *    sweepCsv()/sweepJson() emitters `icfp-sim sweep` uses, so the
+ *    artifact is byte-identical to a cold single-process run.
+ *  - Completed artifacts land in the ResultCache keyed by the full
+ *    request fingerprint (service/result_cache.hh); a repeated submit
+ *    on a warm daemon performs zero trace generations and zero replays,
+ *    which the per-job stderr ledger line makes greppable:
+ *
+ *      icfp-sim serve: job 2 fp=… cache=hit generations=0 replays=0 …
+ *
+ *  - SIGTERM (or requestDrain()) drains gracefully: the listener
+ *    closes, new submits are refused with an error, every queued and
+ *    running job is finished, waiting clients receive their results,
+ *    and join() returns after "drained cleanly" is logged.
+ *
+ * The class is embeddable (tests run it in-process against a temp
+ * socket); `icfp-sim serve` wraps it with signal handling.
+ */
+
+#ifndef ICFP_SERVICE_SERVER_HH
+#define ICFP_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/result_cache.hh"
+#include "sim/sweep.hh"
+
+namespace icfp {
+namespace service {
+
+struct ServerOptions
+{
+    std::string socketPath;
+    unsigned jobs = 0;      ///< engine worker threads; 0 = default
+    size_t queueDepth = 8;  ///< max queued + running jobs
+    /** Persistent trace store directory (overrides ICFP_TRACE_DIR). */
+    std::optional<std::string> traceDir;
+    uint64_t resultCacheMaxBytes = 256 * 1024 * 1024;
+};
+
+/** Finished-job records kept for `status`/`result` (see jobs_). */
+constexpr size_t kMaxRetainedJobs = 64;
+
+/** Monotonic service counters (the `stats` frame mirrors these). */
+struct ServerStats
+{
+    uint64_t submitted = 0;   ///< jobs accepted into the queue
+    uint64_t completed = 0;   ///< jobs finished successfully
+    uint64_t failed = 0;      ///< jobs that threw during execution
+    uint64_t busy = 0;        ///< submits refused by the full queue
+    uint64_t cacheHits = 0;   ///< jobs served from the ResultCache
+    uint64_t cacheMisses = 0; ///< jobs that had to run the grid
+    uint64_t generations = 0; ///< engine trace generations (lifetime)
+    uint64_t replays = 0;     ///< engine simulate() calls (lifetime)
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+
+    /** Drains and joins if still running. */
+    ~Server();
+
+    /**
+     * Bind the socket, start the accept loop and the dispatcher.
+     * @throws std::runtime_error if the socket cannot be created
+     */
+    void start();
+
+    /** Begin a graceful drain (idempotent; safe from any thread). */
+    void requestDrain();
+
+    /** True once requestDrain() has been called. */
+    bool draining() const { return draining_.load(); }
+
+    /**
+     * Wait for the drain to finish: accept loop and dispatcher exited,
+     * every accepted job completed, every handler thread joined, socket
+     * file removed. Call after requestDrain().
+     */
+    void join();
+
+    ServerStats stats() const;
+    const std::string &socketPath() const { return options_.socketPath; }
+
+    /** The shared engine (tests inspect its counters directly). */
+    SweepEngine &engine() { return engine_; }
+
+  private:
+    enum class JobState { Queued, Running, Done, Failed };
+
+    /** One submitted sweep request and (eventually) its artifact. */
+    struct Job
+    {
+        uint64_t id = 0;
+        std::string suite;
+        std::string format;          ///< "csv" | "json"
+        std::vector<SweepJob> grid;  ///< expanded, validated
+        uint64_t insts = 0;
+        std::optional<uint64_t> seed;
+        uint64_t fingerprint = 0;    ///< resultCacheKey()
+
+        JobState state = JobState::Queued;
+        bool cached = false;
+        std::string artifact;        ///< rendered report (Done)
+        std::string error;           ///< failure message (Failed)
+    };
+
+    void acceptLoop();
+    void dispatchLoop();
+    void executeJob(const std::shared_ptr<Job> &job);
+    void handleConnection(int fd, uint64_t conn_id);
+    void reapFinishedConnections();
+    Frame handleSubmit(const Frame &request, std::shared_ptr<Job> *out);
+    Frame jobStatusFrame(const Job &job) const;
+    Frame jobResultFrame(const Job &job) const;
+    static const char *stateName(JobState state);
+
+    ServerOptions options_;
+    SweepEngine engine_;
+    ResultCache cache_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> draining_{false};
+    std::thread acceptThread_;
+    std::thread dispatchThread_;
+
+    mutable std::mutex mutex_; ///< queue, jobs table, stats
+    std::condition_variable queueCv_;    ///< dispatcher wakeups
+    std::condition_variable completeCv_; ///< waiting submitters
+    std::deque<std::shared_ptr<Job>> queue_;
+    size_t activeJobs_ = 0; ///< queued + running (the depth bound)
+    uint64_t nextJobId_ = 1;
+    /** Job records for status/result lookups. Finished jobs are
+     *  retained newest-first up to kMaxRetainedJobs (their artifacts
+     *  would otherwise accumulate unbounded, uncapped by the
+     *  ResultCache's byte limit); an expired id answers "unknown job",
+     *  but the rendered bytes usually still live in the ResultCache. */
+    std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+    std::deque<uint64_t> finishedJobs_; ///< completion order, oldest first
+    ServerStats stats_;
+
+    std::mutex connMutex_; ///< handler thread + open-fd bookkeeping
+    uint64_t nextConnId_ = 1;
+    std::map<uint64_t, std::thread> connThreads_;
+    /** Handlers that have exited and await a join: the accept loop
+     *  reaps them each iteration, so a long-lived daemon never
+     *  accumulates dead joinable threads. */
+    std::vector<uint64_t> finishedConns_;
+    std::vector<int> connFds_;
+};
+
+} // namespace service
+} // namespace icfp
+
+#endif // ICFP_SERVICE_SERVER_HH

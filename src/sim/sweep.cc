@@ -87,6 +87,23 @@ shardJobs(const std::vector<SweepJob> &jobs, const ShardSpec &shard)
 }
 
 std::vector<std::string>
+splitCommaList(const std::string &list)
+{
+    std::vector<std::string> items;
+    size_t start = 0;
+    while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            items.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+std::vector<std::string>
 uniqueFirstUse(const std::vector<std::string> &names)
 {
     std::vector<std::string> unique;
@@ -165,6 +182,12 @@ SweepEngine::traceGenerations() const
     return generations_.load();
 }
 
+uint64_t
+SweepEngine::replays() const
+{
+    return replays_.load();
+}
+
 const Trace &
 SweepEngine::traceLocked(const TraceKey &key)
 {
@@ -237,6 +260,7 @@ SweepEngine::runOnTrace(const Trace &trace,
         out.variant = variant.label;
         out.core = variant.core;
         out.result = simulate(variant.core, variant.config, trace);
+        replays_.fetch_add(1);
     });
     return results;
 }
@@ -274,6 +298,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
         out.core = job.core;
         out.result = simulate(job.core, job.config,
                               trace(job.bench, insts, seed));
+        replays_.fetch_add(1);
     });
     return results;
 }

@@ -131,6 +131,15 @@ std::vector<SweepJob> expandGrid(const SweepSpec &spec);
 std::vector<std::string> uniqueFirstUse(const std::vector<std::string> &names);
 
 /**
+ * Split a comma-separated list, dropping empty items ("a,,b" → {a, b}).
+ * The one splitter behind every comma-list the grid layer accepts —
+ * the CLI's --benches/--cores and the service daemon's submit fields
+ * must agree on these semantics or identical requests would expand to
+ * different grids.
+ */
+std::vector<std::string> splitCommaList(const std::string &list);
+
+/**
  * Run fn(0..n-1) on up to @p jobs threads (jobs <= 1 runs inline).
  * Iterations are claimed from an atomic counter, so the assignment of
  * iterations to threads is racy — callers must write results only into
@@ -175,6 +184,12 @@ class SweepEngine
      *  over this engine's lifetime. */
     uint64_t traceGenerations() const;
 
+    /** simulate() calls executed by run()/runOnTrace() over this
+     *  engine's lifetime. Together with traceGenerations() this is the
+     *  work ledger the service daemon reports per job: a result served
+     *  from its ResultCache advances neither counter. */
+    uint64_t replays() const;
+
     /** Expand @p spec and run the whole grid; results in grid order. */
     std::vector<SweepResult> run(const SweepSpec &spec);
 
@@ -216,6 +231,7 @@ class SweepEngine
     std::map<TraceKey, std::unique_ptr<Trace>> traces_;
     std::shared_ptr<TraceStore> store_;
     std::atomic<uint64_t> generations_{0};
+    std::atomic<uint64_t> replays_{0};
 };
 
 } // namespace icfp

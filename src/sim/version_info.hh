@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The simulator's self-describing identity: which timing-model /
+ * trace-generator / trace-format versions this binary implements, which
+ * core models and workload suites it has registered, and each
+ * benchmark's workload-definition version — collapsed into one
+ * registry fingerprint.
+ *
+ * Three consumers share this one blob, which is what makes cached
+ * results inspectable and trustworthy:
+ *  - `icfp-sim version` prints it as JSON (versionJson()), so the exact
+ *    identity a daemon will serve under is inspectable offline;
+ *  - the service handshake (src/service/protocol.hh) carries the
+ *    fingerprint, so a client immediately sees whether a daemon was
+ *    built from different simulator semantics or workload definitions;
+ *  - the service ResultCache folds it into every result key
+ *    (src/service/result_cache.hh), so bumping any benchmark's
+ *    defVersion — or any simulator version constant — invalidates
+ *    cached artifacts instead of serving stale bytes.
+ */
+
+#ifndef ICFP_SIM_VERSION_INFO_HH
+#define ICFP_SIM_VERSION_INFO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icfp {
+
+/**
+ * Everything that identifies this binary's simulation semantics, as
+ * plain data: version constants plus the full registry contents. Kept
+ * separate from the fingerprint computation so tests can fingerprint a
+ * *modified* identity (e.g. one bumped defVersion) and prove the hash
+ * moves.
+ */
+struct RegistryIdentity
+{
+    unsigned simSemanticsVersion = 0; ///< kSimSemanticsVersion
+    unsigned traceGenVersion = 0;     ///< kTraceGenVersion
+    unsigned traceIoFormatVersion = 0; ///< kTraceIoFormatVersion
+
+    /** Registered core-model display names, registry (enum) order. */
+    std::vector<std::string> cores;
+
+    /** One registered suite: name + (bench, defVersion) in suite order. */
+    struct Suite
+    {
+        std::string name;
+        std::vector<std::pair<std::string, unsigned>> benches;
+    };
+    /** Registered suites, sorted-name order (the registry's order). */
+    std::vector<Suite> suites;
+};
+
+/** Snapshot the live registries and version constants. */
+RegistryIdentity currentRegistryIdentity();
+
+/** Order-sensitive FNV-1a fingerprint of @p identity. */
+uint64_t registryFingerprintOf(const RegistryIdentity &identity);
+
+/** Fingerprint of the live binary (the handshake / cache-key value). */
+uint64_t registryFingerprint();
+
+/** A fingerprint as the canonical 16-digit lowercase hex string. */
+std::string fingerprintHex(uint64_t fp);
+
+/**
+ * The `icfp-sim version` blob: versions, registry fingerprint, core
+ * names, and every suite's per-bench defVersions as deterministic,
+ * human-readable JSON (trailing newline included).
+ */
+std::string versionJson();
+
+} // namespace icfp
+
+#endif // ICFP_SIM_VERSION_INFO_HH

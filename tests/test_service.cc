@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Simulation service tests (src/service/): protocol frame round-trips
+ * and strict malformed-frame rejection, the ResultCache LRU and its
+ * full-identity key (bumping a defVersion or the sim version moves it),
+ * and the daemon end-to-end over a real Unix-domain socket — submit/wait
+ * results byte-identical to a direct engine sweep, repeated submits
+ * served from the ResultCache with zero trace generations and zero
+ * replays, concurrent clients with distinct grids, bounded-queue `busy`
+ * backpressure, and graceful drain finishing every in-flight job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/result_cache.hh"
+#include "service/server.hh"
+#include "sim/report.hh"
+#include "sim/version_info.hh"
+
+namespace fs = std::filesystem;
+
+namespace icfp {
+namespace service {
+namespace {
+
+std::string
+makeTempDir()
+{
+    std::string tmpl =
+        (fs::temp_directory_path() / "icfp_svc_XXXXXX").string();
+    const char *dir = mkdtemp(tmpl.data());
+    EXPECT_NE(dir, nullptr);
+    return tmpl;
+}
+
+// ----------------------------------------------------------------- frames
+
+TEST(Protocol, FrameRoundTripPreservesFieldsAndBytes)
+{
+    Frame frame("result");
+    frame.addUint("job", 42);
+    frame.addString("payload",
+                    "bench,core\n\"mc,f\",in-order\nline\twith\ttabs\n");
+    frame.addString("odd", "quote\" backslash\\ bell\x07 end");
+    frame.addUint("zero", 0);
+
+    const std::string line = frame.serialize();
+    EXPECT_EQ(line.find('\n'), std::string::npos); // one frame = one line
+
+    const Frame parsed = Frame::parse(line);
+    ASSERT_EQ(parsed.fields().size(), frame.fields().size());
+    for (size_t i = 0; i < frame.fields().size(); ++i) {
+        EXPECT_EQ(parsed.fields()[i].key, frame.fields()[i].key);
+        EXPECT_EQ(parsed.fields()[i].value, frame.fields()[i].value);
+        EXPECT_EQ(parsed.fields()[i].isString, frame.fields()[i].isString);
+    }
+    EXPECT_EQ(parsed.type(), "result");
+    EXPECT_EQ(parsed.uintField("job", 0), 42u);
+    // Round-tripping a parse is byte-stable (ordered fields).
+    EXPECT_EQ(parsed.serialize(), line);
+}
+
+TEST(Protocol, TypedFieldAccessorsAreStrict)
+{
+    const Frame frame = Frame::parse("{\"type\":\"x\",\"n\":7,\"s\":\"v\"}");
+    EXPECT_EQ(frame.uintField("n", 0), 7u);
+    EXPECT_EQ(frame.stringField("s"), "v");
+    EXPECT_EQ(frame.stringField("absent", "dflt"), "dflt");
+    EXPECT_FALSE(frame.uintField("absent").has_value());
+    EXPECT_THROW(frame.uintField("s"), ProtocolError);
+    EXPECT_THROW(frame.stringField("n"), ProtocolError);
+}
+
+TEST(Protocol, MalformedFramesAreRejected)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "}",
+        "garbage",
+        "[1,2]",
+        "{\"type\":\"x\"} trailing",
+        "{\"type\":\"x\",}",
+        "{\"type\":\"x\" \"k\":1}",
+        "{\"type\":\"x\",\"k\":}",
+        "{\"type\":\"x\",\"k\":{\"nested\":1}}",
+        "{\"type\":\"x\",\"k\":[1]}",
+        "{\"type\":\"x\",\"k\":1.5}",
+        "{\"type\":\"x\",\"k\":-1}",
+        "{\"type\":\"x\",\"k\":true}",
+        "{\"type\":\"x\",\"k\":null}",
+        "{\"type\":\"x\",\"k\":\"unterminated",
+        "{\"type\":\"x\",\"k\":\"bad\\q escape\"}",
+        "{\"type\":\"x\",\"k\":\"bad\\u12zz\"}",
+        "{\"type\":\"x\",\"k\":99999999999999999999999}", // > 20 digits
+        "{\"type\":\"x\",\"k\":18446744073709551616}", // 2^64, 20 digits
+        "{\"k\":\"no type field\"}",
+        "{\"type\":7}", // type must be a string
+        "{1:\"unquoted key\"}",
+    };
+    for (const char *line : bad)
+        EXPECT_THROW(Frame::parse(line), ProtocolError) << line;
+}
+
+// ----------------------------------------------------------- result cache
+
+TEST(ResultCacheTest, LruEvictionKeepsNewestWithinByteCap)
+{
+    ResultCache cache(10);
+    cache.insert(1, "aaaa");
+    cache.insert(2, "bbbb");
+    EXPECT_TRUE(cache.lookup(1).has_value()); // 1 is now the newest
+    cache.insert(3, "cccc");                  // 12 bytes: evict LRU (2)
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_EQ(*cache.lookup(1), "aaaa");
+    EXPECT_EQ(*cache.lookup(3), "cccc");
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // An artifact bigger than the whole cap is refused outright rather
+    // than flushing the cache for nothing.
+    cache.insert(4, "0123456789ab");
+    EXPECT_FALSE(cache.lookup(4).has_value());
+    EXPECT_TRUE(cache.lookup(1).has_value());
+}
+
+/** A small expanded grid for key tests. */
+std::vector<SweepJob>
+smallGrid()
+{
+    SweepSpec spec;
+    spec.benches = {"mcf", "gzip"};
+    const SimConfig cfg;
+    spec.variants = {{"in-order", CoreKind::InOrder, cfg},
+                     {"icfp", CoreKind::ICfp, cfg}};
+    return expandGrid(spec);
+}
+
+TEST(ResultCacheTest, KeyCoversRequestIdentity)
+{
+    const std::vector<SweepJob> grid = smallGrid();
+    const uint64_t rfp = registryFingerprint();
+    const uint64_t key = resultCacheKey(grid, 5000, std::nullopt,
+                                        "spec2000", "csv", rfp);
+    // Same request, same key (it must be, or nothing would ever hit).
+    EXPECT_EQ(key, resultCacheKey(grid, 5000, std::nullopt, "spec2000",
+                                  "csv", rfp));
+    // Each identity axis moves the key.
+    EXPECT_NE(key, resultCacheKey(grid, 6000, std::nullopt, "spec2000",
+                                  "csv", rfp));
+    EXPECT_NE(key, resultCacheKey(grid, 5000, uint64_t{7}, "spec2000",
+                                  "csv", rfp));
+    EXPECT_NE(key, resultCacheKey(grid, 5000, std::nullopt, "nonspec",
+                                  "csv", rfp));
+    EXPECT_NE(key, resultCacheKey(grid, 5000, std::nullopt, "spec2000",
+                                  "json", rfp));
+    std::vector<SweepJob> other = grid;
+    other.pop_back();
+    EXPECT_NE(key, resultCacheKey(other, 5000, std::nullopt, "spec2000",
+                                  "csv", rfp));
+}
+
+TEST(ResultCacheTest, DefVersionOrSimVersionBumpInvalidatesKey)
+{
+    const std::vector<SweepJob> grid = smallGrid();
+    const RegistryIdentity current = currentRegistryIdentity();
+    const uint64_t key =
+        resultCacheKey(grid, 5000, std::nullopt, "spec2000", "csv",
+                       registryFingerprintOf(current));
+
+    // Bump one benchmark's workload-definition version: the registry
+    // fingerprint moves, so every cached result keyed under the old
+    // identity becomes unreachable (exactly like the trace store).
+    RegistryIdentity bumped_def = current;
+    ASSERT_FALSE(bumped_def.suites.empty());
+    ASSERT_FALSE(bumped_def.suites[0].benches.empty());
+    bumped_def.suites[0].benches[0].second += 1;
+    EXPECT_NE(registryFingerprintOf(current),
+              registryFingerprintOf(bumped_def));
+    EXPECT_NE(key,
+              resultCacheKey(grid, 5000, std::nullopt, "spec2000", "csv",
+                             registryFingerprintOf(bumped_def)));
+
+    // Bump the simulator-semantics version: same invalidation.
+    RegistryIdentity bumped_sim = current;
+    bumped_sim.simSemanticsVersion += 1;
+    EXPECT_NE(key,
+              resultCacheKey(grid, 5000, std::nullopt, "spec2000", "csv",
+                             registryFingerprintOf(bumped_sim)));
+}
+
+// ----------------------------------------------------------------- daemon
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = makeTempDir();
+        socket_ = dir_ + "/svc.sock";
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    ServerOptions options(unsigned jobs = 2, size_t depth = 8)
+    {
+        ServerOptions opts;
+        opts.socketPath = socket_;
+        opts.jobs = jobs;
+        opts.queueDepth = depth;
+        opts.traceDir = dir_ + "/traces"; // hermetic persistent store
+        return opts;
+    }
+
+    /** Submit frame for (benches, cores) at @p insts. */
+    static Frame submitFrame(const std::string &benches,
+                             const std::string &cores, uint64_t insts,
+                             bool wait, const std::string &format = "csv")
+    {
+        Frame frame("submit");
+        frame.addString("benches", benches);
+        frame.addString("cores", cores);
+        frame.addUint("insts", insts);
+        frame.addString("format", format);
+        if (wait)
+            frame.addUint("wait", 1);
+        return frame;
+    }
+
+    /** What a cold `icfp-sim sweep` over the same request emits. */
+    static std::string directSweep(const std::string &benches,
+                                   const std::string &cores,
+                                   uint64_t insts,
+                                   const std::string &format = "csv")
+    {
+        SweepSpec spec;
+        spec.benches = splitCommaList(benches);
+        const SimConfig cfg;
+        if (cores == "all") {
+            for (const CoreKind kind : CoreRegistry::instance().kinds())
+                spec.variants.push_back({coreKindName(kind), kind, cfg});
+        } else {
+            for (const std::string &name : splitCommaList(cores))
+                spec.variants.push_back(
+                    {name, *parseCoreKind(name), cfg});
+        }
+        spec.insts = insts;
+        SweepEngine engine(2);
+        engine.setTraceStore(nullptr); // hermetic
+        const std::vector<SweepResult> results = engine.run(spec);
+        return format == "json" ? sweepJson(results) : sweepCsv(results);
+    }
+
+    std::string dir_;
+    std::string socket_;
+};
+
+TEST_F(ServiceTest, HandshakeAndPingCarryRegistryFingerprint)
+{
+    Server server(options());
+    server.start();
+
+    ServiceClient client(socket_);
+    EXPECT_EQ(client.hello().type(), "hello");
+    EXPECT_EQ(client.hello().uintField("proto", 0), kProtocolVersion);
+    EXPECT_EQ(client.hello().stringField("fp"),
+              fingerprintHex(registryFingerprint()));
+
+    const Frame pong = client.request(Frame("ping"));
+    EXPECT_EQ(pong.type(), "pong");
+    EXPECT_EQ(pong.stringField("fp"),
+              fingerprintHex(registryFingerprint()));
+
+    server.requestDrain();
+    server.join();
+    EXPECT_FALSE(fs::exists(socket_)); // drain removes the socket file
+}
+
+TEST_F(ServiceTest, SubmitWaitIsByteIdenticalToDirectSweep)
+{
+    Server server(options());
+    server.start();
+
+    for (const std::string format : {"csv", "json"}) {
+        ServiceClient client(socket_);
+        const Frame ack = client.request(
+            submitFrame("mcf,equake", "all", 3000, true, format));
+        ASSERT_EQ(ack.type(), "submitted") << ack.stringField("message");
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result");
+        EXPECT_EQ(result.stringField("payload"),
+                  directSweep("mcf,equake", "all", 3000, format));
+
+        // The artifact is also fetchable later, from a new connection.
+        ServiceClient fetcher(socket_);
+        Frame get("result");
+        get.addUint("job", result.uintField("job", 0));
+        const Frame again = fetcher.request(get);
+        ASSERT_EQ(again.type(), "result");
+        EXPECT_EQ(again.stringField("payload"),
+                  result.stringField("payload"));
+    }
+}
+
+TEST_F(ServiceTest, RepeatedSubmitHitsResultCacheWithZeroWork)
+{
+    Server server(options());
+    server.start();
+
+    ServiceClient client(socket_);
+    const Frame ack1 =
+        client.request(submitFrame("mcf,gzip", "in-order,icfp", 3000,
+                                   true));
+    ASSERT_EQ(ack1.type(), "submitted");
+    const Frame result1 = client.readFrame();
+    ASSERT_EQ(result1.type(), "result");
+    EXPECT_EQ(result1.uintField("cached", 1), 0u);
+
+    const ServerStats after_first = server.stats();
+    EXPECT_EQ(after_first.completed, 1u);
+    EXPECT_EQ(after_first.cacheMisses, 1u);
+    EXPECT_GT(after_first.replays, 0u);
+
+    const Frame ack2 =
+        client.request(submitFrame("mcf,gzip", "in-order,icfp", 3000,
+                                   true));
+    ASSERT_EQ(ack2.type(), "submitted");
+    // Identical request, identical fingerprint.
+    EXPECT_EQ(ack2.stringField("fp"), ack1.stringField("fp"));
+    const Frame result2 = client.readFrame();
+    ASSERT_EQ(result2.type(), "result");
+    EXPECT_EQ(result2.uintField("cached", 0), 1u);
+    EXPECT_EQ(result2.stringField("payload"),
+              result1.stringField("payload"));
+
+    // The service contract: a warm repeat does zero trace generations
+    // and zero replays — the engine counters did not move at all.
+    const ServerStats after_second = server.stats();
+    EXPECT_EQ(after_second.cacheHits, 1u);
+    EXPECT_EQ(after_second.replays, after_first.replays);
+    EXPECT_EQ(after_second.generations, after_first.generations);
+
+    // A different grid is a different fingerprint — no false sharing.
+    const Frame ack3 = client.request(
+        submitFrame("mcf,gzip", "in-order,icfp", 4000, true));
+    ASSERT_EQ(ack3.type(), "submitted");
+    EXPECT_NE(ack3.stringField("fp"), ack1.stringField("fp"));
+    const Frame result3 = client.readFrame();
+    ASSERT_EQ(result3.type(), "result");
+    EXPECT_EQ(result3.uintField("cached", 1), 0u);
+}
+
+TEST_F(ServiceTest, MalformedAndInvalidRequestsGetErrors)
+{
+    Server server(options());
+    server.start();
+
+    {
+        // A malformed line gets a diagnostic error frame, then the
+        // session ends; the daemon itself keeps serving.
+        ServiceClient client(socket_);
+        client.sendRaw("this is not a frame\n");
+        const Frame error = client.readFrame();
+        EXPECT_EQ(error.type(), "error");
+        EXPECT_THROW(client.readFrame(), ProtocolError); // session over
+    }
+    {
+        ServiceClient client(socket_);
+        const Frame unknown = client.request(Frame("frobnicate"));
+        EXPECT_EQ(unknown.type(), "error");
+
+        Frame bad_bench("submit");
+        bad_bench.addString("benches", "no-such-bench");
+        EXPECT_EQ(client.request(bad_bench).type(), "error");
+
+        Frame bad_suite("submit");
+        bad_suite.addString("suite", "no-such-suite");
+        EXPECT_EQ(client.request(bad_suite).type(), "error");
+
+        Frame bad_core("submit");
+        bad_core.addString("cores", "no-such-core");
+        EXPECT_EQ(client.request(bad_core).type(), "error");
+
+        Frame bad_format("submit");
+        bad_format.addString("format", "table");
+        EXPECT_EQ(client.request(bad_format).type(), "error");
+
+        Frame no_job("status");
+        EXPECT_EQ(client.request(no_job).type(), "error");
+        Frame unknown_job("result");
+        unknown_job.addUint("job", 999);
+        EXPECT_EQ(client.request(unknown_job).type(), "error");
+
+        // The session survived every rejected request.
+        EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+    }
+}
+
+TEST_F(ServiceTest, ConcurrentClientsWithDistinctGridsAllGetCorrectBytes)
+{
+    Server server(options(4));
+    server.start();
+
+    const std::vector<std::string> benches = {"mcf", "gzip", "equake",
+                                              "graph.bfs"};
+    // Expected artifacts computed up front (hermetic local engines).
+    std::vector<std::string> expected;
+    for (const std::string &bench : benches)
+        expected.push_back(directSweep(bench, "in-order,icfp", 2000));
+
+    std::vector<std::string> got(benches.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < benches.size(); ++i) {
+        clients.emplace_back([&, i] {
+            ServiceClient client(socket_);
+            const Frame ack = client.request(
+                submitFrame(benches[i], "in-order,icfp", 2000, true));
+            if (ack.type() != "submitted")
+                return; // leaves got[i] empty -> the EXPECT below fails
+            const Frame result = client.readFrame();
+            if (result.type() == "result")
+                got[i] = result.stringField("payload");
+        });
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+
+    for (size_t i = 0; i < benches.size(); ++i)
+        EXPECT_EQ(got[i], expected[i]) << benches[i];
+    EXPECT_EQ(server.stats().completed, benches.size());
+}
+
+TEST_F(ServiceTest, FullQueueAnswersBusyNotSilence)
+{
+    // Depth 1: one job occupies the queue+runner; the next submit must
+    // be refused with an explicit busy frame while it runs.
+    Server server(options(1, 1));
+    server.start();
+
+    ServiceClient slow(socket_);
+    // A deliberately heavy job (full scheme column at a big budget) so
+    // it is still running when the second submit lands.
+    const Frame ack =
+        slow.request(submitFrame("mcf", "all", 400000, false));
+    ASSERT_EQ(ack.type(), "submitted");
+
+    ServiceClient fast(socket_);
+    const Frame busy =
+        fast.request(submitFrame("gzip", "in-order", 1000, false));
+    EXPECT_EQ(busy.type(), "busy");
+    EXPECT_EQ(busy.uintField("depth", 0), 1u);
+    EXPECT_GE(server.stats().busy, 1u);
+
+    server.requestDrain();
+    server.join();
+    // The in-flight heavy job still finished (drain never drops work).
+    EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST_F(ServiceTest, GracefulDrainFinishesEveryAcceptedJob)
+{
+    Server server(options(2, 8));
+    server.start();
+
+    ServiceClient client(socket_);
+    for (const char *bench : {"mcf", "gzip", "equake"}) {
+        const Frame ack = client.request(
+            submitFrame(bench, "in-order,icfp", 2000, false));
+        ASSERT_EQ(ack.type(), "submitted");
+    }
+
+    // Drain immediately: all three accepted jobs must still complete.
+    server.requestDrain();
+
+    // A submit on an existing connection after drain is an explicit
+    // refusal, not a hang or a silent drop.
+    const Frame refused = client.request(
+        submitFrame("vpr", "in-order", 1000, false));
+    EXPECT_EQ(refused.type(), "error");
+
+    server.join();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_FALSE(fs::exists(socket_));
+
+    // The listener is gone: new connections fail cleanly.
+    EXPECT_THROW(ServiceClient{socket_}, ProtocolError);
+}
+
+} // namespace
+} // namespace service
+} // namespace icfp

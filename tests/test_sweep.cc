@@ -340,6 +340,138 @@ TEST(Figures, ChainTableGridMatchesLegacySerialBytes)
     EXPECT_EQ(ported.str(), legacy.str());
 }
 
+TEST(Figures, Table2GridMatchesLegacySerialBytes)
+{
+    // The ported harness must reproduce the legacy serial loop's table
+    // byte-for-byte. Re-run the legacy algorithm (direct simulate()
+    // calls, bench-major in-order/runahead/icfp) and compare bytes.
+    const uint64_t insts = 2000;
+    const SweepSpec spec = bench::table2Spec(insts);
+    ASSERT_EQ(spec.benches.size(), spec2000Suite().size());
+    ASSERT_EQ(spec.variants.size(), 3u);
+
+    SweepEngine engine;
+    const Table ported = bench::table2Table(spec, engine.run(spec));
+
+    Table legacy("Table 2: iCFP diagnostics (paper reference values in "
+                 "parentheses columns)");
+    legacy.setColumns({"bench", "D$/KI", "(ppr)", "L2/KI", "(ppr)",
+                       "D$MLP iO", "D$MLP RA", "D$MLP iCFP", "L2MLP iO",
+                       "L2MLP RA", "L2MLP iCFP", "Rally/KI"});
+    const SimConfig cfg;
+    for (const BenchmarkSpec &bspec : spec2000Suite()) {
+        const Trace &trace = engine.trace(bspec.name, insts);
+        const RunResult io = simulate(CoreKind::InOrder, cfg, trace);
+        const RunResult ra = simulate(CoreKind::Runahead, cfg, trace);
+        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+        legacy.addRow(bspec.name,
+                      {io.missPerKi(io.mem.dcacheMisses),
+                       bspec.paperDcacheMissKi,
+                       io.missPerKi(io.mem.l2Misses), bspec.paperL2MissKi,
+                       io.dcacheMlp, ra.dcacheMlp, ic.dcacheMlp, io.l2Mlp,
+                       ra.l2Mlp, ic.l2Mlp, ic.rallyPerKi()},
+                      1);
+    }
+    legacy.addNote("");
+    legacy.addNote("Expected shape (paper Table 2): iCFP MLP >= RA MLP >= "
+                   "in-order MLP nearly everywhere;");
+    legacy.addNote("Rally/KI large for dependent-miss codes (paper: mcf "
+                   "2876, ammp 428, twolf 224, vpr 187).");
+
+    EXPECT_EQ(ported.str(), legacy.str());
+}
+
+TEST(Figures, Sec53GridMatchesLegacySerialBytes)
+{
+    const uint64_t insts = 2000;
+    const SweepSpec spec = bench::sec53Spec(insts);
+    ASSERT_EQ(spec.variants.size(), 4u);
+
+    SweepEngine engine;
+    const Table ported = bench::sec53Table(spec, engine.run(spec));
+
+    Table legacy("Section 5.3: out-of-order context "
+                 "(" + std::to_string(insts) + " insts/benchmark)");
+    legacy.setColumns({"bench", "base IPC", "iCFP %", "OoO %", "CFP %"});
+    const SimConfig cfg;
+    std::vector<double> r_ic, r_ooo, r_cfp;
+    for (const BenchmarkSpec &bspec : spec2000Suite()) {
+        const Trace &trace = engine.trace(bspec.name, insts);
+        const RunResult base = simulate(CoreKind::InOrder, cfg, trace);
+        const RunResult ic = simulate(CoreKind::ICfp, cfg, trace);
+        const RunResult ooo = simulate(CoreKind::Ooo, cfg, trace);
+        const RunResult cfp = simulate(CoreKind::Cfp, cfg, trace);
+        legacy.addRow(bspec.name,
+                      {base.ipc(), percentSpeedup(base, ic),
+                       percentSpeedup(base, ooo),
+                       percentSpeedup(base, cfp)},
+                      1);
+        auto ratio = [&base](const RunResult &r) {
+            return double(base.cycles) / double(r.cycles);
+        };
+        r_ic.push_back(ratio(ic));
+        r_ooo.push_back(ratio(ooo));
+        r_cfp.push_back(ratio(cfp));
+    }
+    legacy.addNote("");
+    legacy.addRow("SPEC geomean",
+                  {0.0, bench::geomeanSpeedupPct(r_ic),
+                   bench::geomeanSpeedupPct(r_ooo),
+                   bench::geomeanSpeedupPct(r_cfp)},
+                  1);
+    legacy.addNote("paper: iCFP +16%, 2-way out-of-order +68%, "
+                   "out-of-order CFP +83% (Section 5.3)");
+
+    EXPECT_EQ(ported.str(), legacy.str());
+}
+
+TEST(Figures, PoisonBitsGridMatchesLegacySerialBytes)
+{
+    const uint64_t insts = 2000;
+    const SweepSpec spec = bench::poisonBitsSpec(insts);
+    ASSERT_EQ(spec.variants.size(), 1 + bench::poisonBitsWidths().size());
+
+    SweepEngine engine;
+    const Table ported = bench::poisonBitsTable(spec, engine.run(spec));
+
+    Table legacy("Poison vector width: iCFP % speedup over in-order");
+    legacy.setColumns({"bench", "1 bit", "2 bits", "4 bits", "8 bits",
+                       "8b over 1b %"});
+    const unsigned widths[] = {1, 2, 4, 8};
+    std::vector<std::vector<double>> ratios(std::size(widths));
+    for (const BenchmarkSpec &bspec : spec2000Suite()) {
+        const Trace &trace = engine.trace(bspec.name, insts);
+        SimConfig base_cfg;
+        const RunResult base =
+            simulate(CoreKind::InOrder, base_cfg, trace);
+        std::vector<double> row;
+        Cycle cycles1 = 0, cycles8 = 0;
+        for (size_t w = 0; w < std::size(widths); ++w) {
+            SimConfig cfg;
+            cfg.icfp.poisonBits = widths[w];
+            const RunResult r = simulate(CoreKind::ICfp, cfg, trace);
+            row.push_back(percentSpeedup(base, r));
+            ratios[w].push_back(double(base.cycles) / double(r.cycles));
+            if (widths[w] == 1)
+                cycles1 = r.cycles;
+            if (widths[w] == 8)
+                cycles8 = r.cycles;
+        }
+        row.push_back(100.0 * (double(cycles1) / double(cycles8) - 1.0));
+        legacy.addRow(bspec.name, row, 1);
+    }
+    legacy.addNote("");
+    std::vector<double> mean_row;
+    for (const auto &r : ratios)
+        mean_row.push_back(bench::geomeanSpeedupPct(r));
+    legacy.addRow("geomean", mean_row, 1);
+    legacy.addNote("");
+    legacy.addNote("Paper (Section 3.4): 8 poison bits gain 1.5% on "
+                   "average over a single bit; mcf gains 6%.");
+
+    EXPECT_EQ(ported.str(), legacy.str());
+}
+
 TEST(Figures, SuiteSpeedupGridCoversEverySchemeAndFamily)
 {
     // The fig_nonspec grid: every nonspec bench × (base + every other

@@ -16,6 +16,13 @@
  *                                one suite's grid; emits BENCH_perf.json
  *   trace   --bench B --save-trace F   generate + save a golden trace
  *   disasm  --bench B [--n N]    print the first N dynamic instructions
+ *   version                      sim + registry identity as JSON (the
+ *                                service handshake / result-cache blob)
+ *   serve   --socket PATH        run the simulation service daemon
+ *   submit  --socket PATH [--wait]    submit a sweep job to a daemon
+ *   status  --socket PATH --job N     query one job's state
+ *   result  --socket PATH --job N     fetch one job's artifact
+ *   ping    --socket PATH        handshake check against a daemon
  *
  * Common options:
  *   --insts N        dynamic instruction budget (default 200000)
@@ -43,6 +50,17 @@
  *   --trace-dir DIR  persistent golden-trace store (overrides the
  *                    ICFP_TRACE_DIR environment variable)
  *
+ * Service options (see src/service/server.hh):
+ *   --socket PATH    Unix-domain socket the daemon serves / clients use
+ *   --queue-depth K  serve: max queued+running jobs before `busy` (8)
+ *   --jobs N         serve: sweep-engine worker threads
+ *   --wait           submit: block until the job finishes and emit the
+ *                    artifact (to --out or stdout)
+ *   --job N          status/result: the job id to query
+ *   submit also honors --suite/--benches/--cores/--insts/--seed and
+ *   --format csv|json (default csv); the fetched artifact is
+ *   byte-identical to `icfp-sim sweep` with the same options.
+ *
  * Perf options (see sim/perf_harness.hh):
  *   --quick          trimmed grid / budget for CI smoke runs
  *   --reps N         timed repetitions per case (median-of-N, default 3)
@@ -53,21 +71,28 @@
  * Exit status: 0 on success, 1 on usage errors.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "isa/trace_io.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "sim/merge.hh"
 #include "sim/perf_harness.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
 #include "sim/trace_store.hh"
+#include "sim/version_info.hh"
 #include "workloads/nonspec_suites.hh"
 #include "workloads/suite_registry.hh"
 
@@ -107,6 +132,13 @@ struct Options
     std::optional<ShardSpec> shard;
     std::optional<std::string> traceDir;
 
+    // Service options.
+    std::string socket;
+    size_t queueDepth = 8;
+    bool queueDepthSet = false;
+    bool wait = false;
+    std::optional<uint64_t> jobId;
+
     // Perf options.
     bool quick = false;
     unsigned perfReps = 3;
@@ -124,7 +156,8 @@ usage()
     std::fprintf(stderr,
                  "usage: icfp-sim "
                  "<list|suites|cores|run|compare|suite|sweep|merge|perf|"
-                 "trace|disasm> [options]\n"
+                 "trace|disasm|version|serve|submit|status|result|ping> "
+                 "[options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
 }
@@ -202,6 +235,21 @@ parseArgs(int argc, char **argv, Options *opt)
                              text);
                 return false;
             }
+        } else if (arg == "--socket") {
+            opt->socket = next();
+        } else if (arg == "--queue-depth") {
+            opt->queueDepth =
+                static_cast<size_t>(std::strtoull(next(), nullptr, 0));
+            if (opt->queueDepth == 0) {
+                std::fprintf(stderr,
+                             "--queue-depth must be at least 1\n");
+                return false;
+            }
+            opt->queueDepthSet = true;
+        } else if (arg == "--wait") {
+            opt->wait = true;
+        } else if (arg == "--job") {
+            opt->jobId = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--quick") {
             opt->quick = true;
         } else if (arg == "--reps") {
@@ -304,24 +352,6 @@ makeTrace(const Options &opt)
     return trace;
 }
 
-/** Split a comma-separated list. */
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> items;
-    size_t start = 0;
-    while (start <= list.size()) {
-        const size_t comma = list.find(',', start);
-        const size_t end = comma == std::string::npos ? list.size() : comma;
-        if (end > start)
-            items.push_back(list.substr(start, end - start));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return items;
-}
-
 /** Resolve --benches: "all" means the whole --suite. */
 std::vector<std::string>
 resolveBenches(const std::string &list, const std::string &suite)
@@ -332,7 +362,7 @@ resolveBenches(const std::string &list, const std::string &suite)
             names.push_back(spec.name);
         return names;
     }
-    return splitList(list);
+    return splitCommaList(list);
 }
 
 /** Resolve --cores: "all" means every registered model. */
@@ -342,7 +372,7 @@ resolveCores(const std::string &list)
     if (list == "all")
         return CoreRegistry::instance().kinds();
     std::vector<CoreKind> kinds;
-    for (const std::string &name : splitList(list)) {
+    for (const std::string &name : splitCommaList(list)) {
         const auto kind = parseCoreKind(name);
         if (!kind)
             ICFP_FATAL("unknown core '%s'", name.c_str());
@@ -740,7 +770,7 @@ cmdPerf(const Options &opt)
     else
         perf.insts = opt.quick ? 20000 : 100000;
     if (opt.benches != "all")
-        perf.benches = splitList(opt.benches);
+        perf.benches = splitCommaList(opt.benches);
 
     std::optional<PerfBaseline> baseline;
     if (opt.baseline) {
@@ -809,6 +839,217 @@ cmdTrace(const Options &opt)
 }
 
 int
+cmdVersion()
+{
+    std::fputs(versionJson().c_str(), stdout);
+    return 0;
+}
+
+/** SIGTERM/SIGINT land here; the serve loop polls the flag. */
+std::atomic<bool> g_drainRequested{false};
+
+void
+onDrainSignal(int)
+{
+    g_drainRequested.store(true);
+}
+
+int
+cmdServe(const Options &opt)
+{
+    service::ServerOptions sopt;
+    sopt.socketPath = opt.socket;
+    sopt.jobs = opt.jobs;
+    sopt.queueDepth = opt.queueDepth;
+    sopt.traceDir = opt.traceDir;
+    service::Server server(std::move(sopt));
+
+    // Handlers first: a supervisor's SIGTERM racing startup must drain,
+    // not kill the process with the socket file left behind.
+    struct sigaction sa{};
+    sa.sa_handler = onDrainSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+
+    while (!g_drainRequested.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.requestDrain();
+    server.join();
+    return 0;
+}
+
+/** Emit a fetched artifact payload per --out (file) or to stdout. */
+int
+emitPayload(const Options &opt, const std::string &payload)
+{
+    if (opt.out) {
+        std::FILE *f = std::fopen(opt.out->c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opt.out->c_str());
+            return 1;
+        }
+        std::fputs(payload.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fputs(payload.c_str(), stdout);
+    }
+    return 0;
+}
+
+int
+cmdSubmit(const Options &opt)
+{
+    if (rejectTraceIo(opt, "submit"))
+        return 1;
+    std::string format = opt.format;
+    if (!opt.formatSet) {
+        format = "csv"; // the service only deals in artifact formats
+    } else if (format != "csv" && format != "json") {
+        std::fprintf(stderr, "submit: --format must be csv or json\n");
+        return 1;
+    }
+    if (opt.out) {
+        // Writability probe in append mode, like cmdSweep: the daemon
+        // must not burn grid time for an artifact with nowhere to land
+        // (and an existing report must not be truncated by the probe).
+        std::FILE *f = std::fopen(opt.out->c_str(), "a");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", opt.out->c_str());
+            return 1;
+        }
+        std::fclose(f);
+    }
+    try {
+        service::ServiceClient client(opt.socket);
+        service::Frame request("submit");
+        if (opt.suiteSet)
+            request.addString("suite", opt.suite);
+        request.addString("benches", opt.benches);
+        request.addString("cores", opt.cores);
+        request.addUint("insts", opt.insts);
+        if (opt.seed)
+            request.addUint("seed", *opt.seed);
+        request.addString("format", format);
+        if (opt.wait)
+            request.addUint("wait", 1);
+
+        const service::Frame response = client.request(request);
+        if (response.type() == "busy") {
+            std::fprintf(stderr,
+                         "submit: server busy (queue depth %llu); "
+                         "retry later\n",
+                         (unsigned long long)response.uintField("depth",
+                                                                0));
+            return 1;
+        }
+        if (response.type() != "submitted") {
+            std::fprintf(stderr, "submit: %s\n",
+                         response.stringField("message", "unexpected '" +
+                                              response.type() +
+                                              "' response").c_str());
+            return 1;
+        }
+        const uint64_t job = response.uintField("job", 0);
+        std::fprintf(stderr, "submit: job %llu (fp=%s, %llu rows)\n",
+                     (unsigned long long)job,
+                     response.stringField("fp").c_str(),
+                     (unsigned long long)response.uintField("rows", 0));
+        if (!opt.wait)
+            return 0;
+
+        const service::Frame result = client.readFrame();
+        if (result.type() != "result") {
+            std::fprintf(stderr, "submit: %s\n",
+                         result.stringField("message", "unexpected '" +
+                                            result.type() +
+                                            "' response").c_str());
+            return 1;
+        }
+        return emitPayload(opt, result.stringField("payload"));
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "submit: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
+cmdStatusOrResult(const Options &opt)
+{
+    if (!opt.jobId) {
+        std::fprintf(stderr, "%s: requires --job N\n",
+                     opt.command.c_str());
+        return 1;
+    }
+    try {
+        service::ServiceClient client(opt.socket);
+        service::Frame request(opt.command); // "status" or "result"
+        request.addUint("job", *opt.jobId);
+        const service::Frame response = client.request(request);
+        if (response.type() == "error") {
+            std::fprintf(stderr, "%s: %s\n", opt.command.c_str(),
+                         response.stringField("message").c_str());
+            return 1;
+        }
+        if (opt.command == "result") {
+            if (response.type() != "result") {
+                std::fprintf(stderr, "result: unexpected '%s' response\n",
+                             response.type().c_str());
+                return 1;
+            }
+            return emitPayload(opt, response.stringField("payload"));
+        }
+        std::printf("job %llu: %s%s (fp=%s)\n",
+                    (unsigned long long)response.uintField("job", 0),
+                    response.stringField("state").c_str(),
+                    response.uintField("cached", 0) ? " (cached)" : "",
+                    response.stringField("fp").c_str());
+        return 0;
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "%s: %s\n", opt.command.c_str(), e.what());
+        return 1;
+    }
+}
+
+int
+cmdPing(const Options &opt)
+{
+    try {
+        service::ServiceClient client(opt.socket);
+        const service::Frame pong = client.request(service::Frame("ping"));
+        if (pong.type() != "pong") {
+            std::fprintf(stderr, "ping: unexpected '%s' response\n",
+                         pong.type().c_str());
+            return 1;
+        }
+        std::printf("pong: proto=%llu sim=%llu fp=%s\n",
+                    (unsigned long long)pong.uintField("proto", 0),
+                    (unsigned long long)client.hello().uintField("sim", 0),
+                    pong.stringField("fp").c_str());
+        // A client built from different simulator semantics or workload
+        // definitions would compute different result fingerprints; make
+        // the divergence visible at ping time, not after a stale fetch.
+        const std::string mine = fingerprintHex(registryFingerprint());
+        if (pong.stringField("fp") != mine) {
+            std::fprintf(stderr,
+                         "ping: registry fingerprint mismatch (daemon %s,"
+                         " this binary %s) — results will differ\n",
+                         pong.stringField("fp").c_str(), mine.c_str());
+        }
+        return 0;
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "ping: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
 cmdDisasm(const Options &opt)
 {
     const Trace trace = makeTrace(opt);
@@ -851,18 +1092,95 @@ main(int argc, char **argv)
         return 1;
     }
     if (opt.traceDir && opt.command != "sweep" &&
-        opt.command != "compare" && opt.command != "suite") {
+        opt.command != "compare" && opt.command != "suite" &&
+        opt.command != "serve") {
         std::fprintf(stderr,
                      "--trace-dir only applies to the engine commands "
-                     "(sweep, compare, suite)\n");
+                     "(sweep, compare, suite, serve)\n");
         return 1;
     }
     if (opt.suiteSet && opt.command != "list" && opt.command != "compare" &&
         opt.command != "suite" && opt.command != "sweep" &&
-        opt.command != "perf") {
+        opt.command != "perf" && opt.command != "submit") {
         std::fprintf(stderr,
                      "--suite only applies to list, compare, suite, "
-                     "sweep, and perf\n");
+                     "sweep, perf, and submit\n");
+        return 1;
+    }
+    const bool service_command =
+        opt.command == "serve" || opt.command == "submit" ||
+        opt.command == "status" || opt.command == "result" ||
+        opt.command == "ping";
+    if (service_command && opt.socket.empty()) {
+        std::fprintf(stderr, "%s: requires --socket PATH\n",
+                     opt.command.c_str());
+        return 1;
+    }
+    if (!opt.socket.empty() && !service_command) {
+        std::fprintf(stderr,
+                     "--socket only applies to the service commands "
+                     "(serve, submit, status, result, ping)\n");
+        return 1;
+    }
+    if (opt.wait && opt.command != "submit") {
+        std::fprintf(stderr, "--wait only applies to 'submit'\n");
+        return 1;
+    }
+    if (opt.jobId && opt.command != "status" && opt.command != "result") {
+        std::fprintf(stderr,
+                     "--job only applies to 'status' and 'result'\n");
+        return 1;
+    }
+    if (opt.queueDepthSet && opt.command != "serve") {
+        std::fprintf(stderr, "--queue-depth only applies to 'serve'\n");
+        return 1;
+    }
+    if (service_command && opt.command != "submit" &&
+        (opt.instsSet || opt.benches != "all" || opt.cores != "all" ||
+         opt.seed)) {
+        // Grid shape travels with `submit`; on the daemon or the other
+        // client verbs these would be silently meaningless.
+        std::fprintf(stderr,
+                     "%s: --insts/--benches/--cores/--seed shape a "
+                     "submit, not this command\n",
+                     opt.command.c_str());
+        return 1;
+    }
+    if (opt.formatSet && service_command && opt.command != "submit") {
+        std::fprintf(stderr,
+                     "--format travels with 'submit' (the artifact "
+                     "format is fixed at submission)\n");
+        return 1;
+    }
+    if (opt.out &&
+        (opt.command == "serve" || opt.command == "ping" ||
+         opt.command == "status")) {
+        std::fprintf(stderr,
+                     "--out only applies to 'submit' and 'result' among "
+                     "the service commands\n");
+        return 1;
+    }
+    if (opt.jobs != 0 && service_command && opt.command != "serve") {
+        // Parallelism is the daemon's --jobs; accepting it on a client
+        // verb would look like it parallelized the request.
+        std::fprintf(stderr,
+                     "--jobs applies to the daemon ('serve'), not to "
+                     "%s\n",
+                     opt.command.c_str());
+        return 1;
+    }
+    if (service_command &&
+        (opt.l2Latency || opt.memLatency || opt.poisonBits ||
+         opt.trigger || opt.blockingRally || opt.noMtRally)) {
+        // The daemon runs every variant at Table 1 defaults; accepting
+        // a config override here and ignoring it would return silently
+        // wrong data under the submit==sweep byte-identity promise.
+        std::fprintf(stderr,
+                     "%s: config overrides (--l2-lat/--mem-lat/"
+                     "--poison-bits/--trigger/--blocking-rally/"
+                     "--no-mt-rally) are not supported over the service;"
+                     " use 'sweep'\n",
+                     opt.command.c_str());
         return 1;
     }
     if (opt.suiteSet && !SuiteRegistry::instance().has(opt.suite)) {
@@ -893,6 +1211,16 @@ main(int argc, char **argv)
         return cmdTrace(opt);
     if (opt.command == "disasm")
         return cmdDisasm(opt);
+    if (opt.command == "version")
+        return cmdVersion();
+    if (opt.command == "serve")
+        return cmdServe(opt);
+    if (opt.command == "submit")
+        return cmdSubmit(opt);
+    if (opt.command == "status" || opt.command == "result")
+        return cmdStatusOrResult(opt);
+    if (opt.command == "ping")
+        return cmdPing(opt);
     usage();
     return 1;
 }
