@@ -1,0 +1,197 @@
+#include "common/fault_inject.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace icfp {
+namespace fault {
+
+namespace {
+
+struct PointState
+{
+    uint64_t trigger = 1;       // 1-based hit ordinal at which firing starts
+    uint64_t count = 1;         // consecutive fires; UINT64_MAX = forever
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+};
+
+std::mutex gMutex;
+std::map<std::string, PointState> gPoints;
+
+// Fast-path gate: shouldFire() is on hot I/O and per-row paths, so the
+// disarmed case must not take gMutex or touch the map.
+std::atomic<uint64_t> gArmedCount{0};
+
+std::once_flag gEnvOnce;
+
+/** Parse one "point:trigger[:count]" clause into (name, state). */
+bool
+parseClause(const std::string &clause, std::string *name, PointState *state,
+            std::string *error)
+{
+    const size_t first = clause.find(':');
+    if (first == std::string::npos || first == 0) {
+        if (error)
+            *error = "fault spec clause '" + clause +
+                     "' is not point:trigger[:count]";
+        return false;
+    }
+    *name = clause.substr(0, first);
+
+    const size_t second = clause.find(':', first + 1);
+    const std::string trigger_str =
+        clause.substr(first + 1, second == std::string::npos
+                                     ? std::string::npos
+                                     : second - first - 1);
+    const std::string count_str =
+        second == std::string::npos ? "1" : clause.substr(second + 1);
+
+    auto parseU64 = [](const std::string &s, uint64_t *out) {
+        if (s.empty())
+            return false;
+        uint64_t v = 0;
+        for (const char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+            const uint64_t digit = static_cast<uint64_t>(c - '0');
+            if (v > (UINT64_MAX - digit) / 10)
+                return false;
+            v = v * 10 + digit;
+        }
+        *out = v;
+        return true;
+    };
+
+    if (!parseU64(trigger_str, &state->trigger) || state->trigger == 0) {
+        if (error)
+            *error = "fault spec clause '" + clause +
+                     "': trigger must be a positive integer";
+        return false;
+    }
+    if (count_str == "*") {
+        state->count = UINT64_MAX;
+    } else if (!parseU64(count_str, &state->count) || state->count == 0) {
+        if (error)
+            *error = "fault spec clause '" + clause +
+                     "': count must be a positive integer or '*'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Load ICFP_FAULT_INJECT exactly once, on the first shouldFire(). A
+ * malformed env spec is fatal: a typo'd fault campaign must refuse to
+ * run, not silently exercise only the healthy path.
+ */
+void
+loadEnvSpec()
+{
+    const char *env = std::getenv("ICFP_FAULT_INJECT");
+    if (!env || !*env)
+        return;
+    std::string error;
+    if (!armSpec(env, &error))
+        ICFP_FATAL("ICFP_FAULT_INJECT: %s", error.c_str());
+    std::fprintf(stderr, "icfp-sim fault-inject: armed spec %s\n", env);
+}
+
+} // namespace
+
+bool
+shouldFire(const char *point)
+{
+    std::call_once(gEnvOnce, loadEnvSpec);
+    if (gArmedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+
+    std::lock_guard<std::mutex> lock(gMutex);
+    const auto it = gPoints.find(point);
+    if (it == gPoints.end())
+        return false;
+    PointState &st = it->second;
+    ++st.hits;
+    const bool fire =
+        st.hits >= st.trigger && st.hits - st.trigger < st.count;
+    if (fire) {
+        ++st.fired;
+        std::fprintf(stderr,
+                     "icfp-sim fault-inject: fired point=%s hit=%llu\n",
+                     point, static_cast<unsigned long long>(st.hits));
+    }
+    return fire;
+}
+
+bool
+armSpec(const std::string &spec, std::string *error)
+{
+    // Parse the whole spec before touching the registry so a malformed
+    // clause leaves the previous arming intact.
+    std::map<std::string, PointState> parsed;
+    size_t at = 0;
+    while (at <= spec.size()) {
+        const size_t end = spec.find(',', at);
+        const std::string clause =
+            spec.substr(at, end == std::string::npos ? std::string::npos
+                                                     : end - at);
+        if (!clause.empty()) {
+            std::string name;
+            PointState state;
+            if (!parseClause(clause, &name, &state, error))
+                return false;
+            parsed[name] = state;
+        }
+        if (end == std::string::npos)
+            break;
+        at = end + 1;
+    }
+
+    std::lock_guard<std::mutex> lock(gMutex);
+    for (auto &kv : parsed)
+        gPoints[kv.first] = kv.second;
+    gArmedCount.store(gPoints.size(), std::memory_order_relaxed);
+    return true;
+}
+
+void
+disarmAll()
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    gPoints.clear();
+    gArmedCount.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+hitCount(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    const auto it = gPoints.find(point);
+    return it == gPoints.end() ? 0 : it->second.hits;
+}
+
+uint64_t
+firedCount(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    const auto it = gPoints.find(point);
+    return it == gPoints.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string>
+armedPoints()
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    std::vector<std::string> names;
+    for (const auto &kv : gPoints)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace fault
+} // namespace icfp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic fault injection: a registry of named fault points that
+ * production code compiles in unconditionally and tests/CI arm on
+ * demand, so every "cannot happen on a healthy machine" path — short
+ * writes, failed fsyncs, torn renames, mid-frame disconnects, a job
+ * blowing up inside the sweep engine — has a forced, repeatable
+ * trigger.
+ *
+ * A fault point is one named call site:
+ *
+ *   if (ICFP_FAULT_POINT("trace_store.fsync"))
+ *       // behave as if fsync() failed
+ *
+ * Disarmed (the normal case) a point costs one relaxed atomic load —
+ * no lock, no map lookup, no string compare — so the points stay in
+ * release builds and the tested binary is the shipped binary.
+ *
+ * Arming uses a spec string, either programmatically (tests call
+ * armSpec()) or via the ICFP_FAULT_INJECT environment variable
+ * (CI arms a daemon without rebuilding it):
+ *
+ *   ICFP_FAULT_INJECT=point:trigger[:count][,point:trigger[:count]...]
+ *
+ *   trigger  1-based hit ordinal at which the point starts firing
+ *   count    how many consecutive hits fire (default 1; '*' = forever)
+ *
+ * e.g. "trace_store.fsync:1" fails the first store fsync only;
+ * "protocol.write:3:2" fails the 3rd and 4th frame writes;
+ * "sweep.job:1:*" fails every sweep row. A malformed env spec is fatal:
+ * a typo'd fault campaign must refuse to run, not silently test the
+ * healthy path.
+ *
+ * Every firing emits one greppable stderr ledger line:
+ *
+ *   icfp-sim fault-inject: fired point=trace_store.fsync hit=1
+ *
+ * which is what the CI fault matrix greps to prove the fault actually
+ * exercised the path it claims to.
+ */
+
+#ifndef ICFP_COMMON_FAULT_INJECT_HH
+#define ICFP_COMMON_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icfp {
+namespace fault {
+
+/**
+ * Should this hit of @p point fire? Counts the hit when any spec is
+ * armed; near-free (one relaxed atomic load) when nothing is armed.
+ */
+bool shouldFire(const char *point);
+
+/**
+ * Arm the points named by @p spec (the ICFP_FAULT_INJECT grammar
+ * above), replacing any existing arming of the same point names.
+ * @return false (with *error filled, if given) on a malformed spec,
+ *         leaving the previous arming untouched
+ */
+bool armSpec(const std::string &spec, std::string *error = nullptr);
+
+/** Disarm every point and reset all hit/fired counters. */
+void disarmAll();
+
+/** Hits observed on an armed @p point (0 if never armed). */
+uint64_t hitCount(const std::string &point);
+
+/** Times @p point actually fired (0 if never armed). */
+uint64_t firedCount(const std::string &point);
+
+/** The currently armed point names, sorted. */
+std::vector<std::string> armedPoints();
+
+} // namespace fault
+} // namespace icfp
+
+/** The call-site marker (greppable inventory of every fault point). */
+#define ICFP_FAULT_POINT(name) (::icfp::fault::shouldFire(name))
+
+#endif // ICFP_COMMON_FAULT_INJECT_HH

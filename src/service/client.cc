@@ -1,7 +1,11 @@
 #include "service/client.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -10,7 +14,39 @@
 namespace icfp {
 namespace service {
 
-ServiceClient::ServiceClient(const std::string &socket_path)
+ServiceClient::ServiceClient(const std::string &socket_path,
+                             const ClientOptions &options)
+    : options_(options)
+{
+    // Connection retry loop: only ConnectError (refused, missing
+    // socket, peer death mid-handshake) re-attempts — those are what a
+    // daemon mid-restart looks like and resolve by waiting. Everything
+    // else (version mismatch, read timeout) is not transient and
+    // propagates immediately.
+    unsigned attempt = 0;
+    while (true) {
+        try {
+            connectOnce(socket_path);
+            return;
+        } catch (const ConnectError &e) {
+            if (attempt >= options_.retries)
+                throw;
+            const std::chrono::milliseconds backoff(
+                attempt >= 5 ? 2000LL
+                             : std::min<long long>(100LL << attempt, 2000));
+            ++attempt;
+            std::fprintf(stderr,
+                         "icfp-sim: connect attempt %u/%u failed (%s), "
+                         "retrying in %lldms\n",
+                         attempt, options_.retries + 1, e.what(),
+                         (long long)backoff.count());
+            std::this_thread::sleep_for(backoff);
+        }
+    }
+}
+
+void
+ServiceClient::connectOnce(const std::string &socket_path)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -28,11 +64,26 @@ ServiceClient::ServiceClient(const std::string &socket_path)
         const std::string why = std::strerror(errno);
         ::close(fd_);
         fd_ = -1;
-        throw ProtocolError("cannot connect to " + socket_path + ": " +
-                            why + " (is the daemon running?)");
+        throw ConnectError("cannot connect to " + socket_path + ": " +
+                           why + " (is the daemon running?)");
     }
 
-    hello_ = readFrame();
+    try {
+        hello_ = readFrame();
+    } catch (const ProtocolError &e) {
+        ::close(fd_);
+        fd_ = -1;
+        buffer_.clear();
+        // EOF or torn bytes before the hello: the daemon died under us
+        // (e.g. drained between accept and handshake) — retryable. A
+        // timeout stays a plain ProtocolError: the daemon is alive but
+        // stalled, and reconnecting would just hang again.
+        const std::string what = e.what();
+        if (what.find("timed out") != std::string::npos)
+            throw;
+        throw ConnectError("daemon hung up during handshake (" + what +
+                           ")");
+    }
     if (hello_.type() != "hello") {
         throw ProtocolError("expected a hello handshake, got '" +
                             hello_.type() + "'");
@@ -62,7 +113,11 @@ ServiceClient::request(const Frame &request)
 Frame
 ServiceClient::readFrame()
 {
-    std::optional<Frame> frame = service::readFrame(fd_, &buffer_);
+    const int timeout_ms =
+        options_.timeoutSec ? static_cast<int>(options_.timeoutSec) * 1000
+                            : -1;
+    std::optional<Frame> frame =
+        service::readFrame(fd_, &buffer_, timeout_ms);
     if (!frame)
         throw ProtocolError("server closed the connection");
     return std::move(*frame);

@@ -3,7 +3,7 @@
  * Client side of the simulation service: connect to a daemon's socket,
  * verify the versioned handshake, and exchange frames. Wraps the
  * blocking socket plumbing so the CLI verbs (`icfp-sim submit / status
- * / result / ping`) and the tests are one-liners over frames.
+ * / result / ping / cancel`) and the tests are one-liners over frames.
  *
  * @code
  *   ServiceClient client("/run/icfp.sock");   // connects + checks hello
@@ -14,8 +14,21 @@
  *   Frame result = client.readFrame();        // blocks until done
  * @endcode
  *
- * All failures — no daemon, handshake mismatch, malformed frames —
- * throw ProtocolError with a message fit for the CLI to print.
+ * Resilience against a flapping daemon (ClientOptions):
+ *
+ *  - timeoutSec puts a whole-frame deadline on every read, the
+ *    handshake included, so a daemon that accepts then stalls degrades
+ *    to a clean ProtocolError instead of wedging the client forever.
+ *  - retries re-attempts the *connection* with exponential backoff
+ *    (100ms doubling, capped at 2s) on the retryable failures: connect
+ *    refused / socket missing (ConnectError) and the peer vanishing
+ *    mid-handshake. A read timeout is deliberately NOT retryable —
+ *    against a daemon that accepts and stalls, retrying would multiply
+ *    the hang by the retry count instead of surfacing it.
+ *
+ * All failures — no daemon, handshake mismatch, malformed frames,
+ * expired deadlines — throw ProtocolError (ConnectError for the
+ * couldn't-even-connect subset) with a message fit for the CLI.
  */
 
 #ifndef ICFP_SERVICE_CLIENT_HH
@@ -28,15 +41,38 @@
 namespace icfp {
 namespace service {
 
+/** Connection-level failure: refused, socket missing, or the daemon
+ *  hung up before completing the handshake. The retryable subset of
+ *  ProtocolError — a daemon mid-restart shows exactly these. */
+class ConnectError : public ProtocolError
+{
+  public:
+    using ProtocolError::ProtocolError;
+};
+
+struct ClientOptions
+{
+    /** Whole-frame read deadline in seconds; 0 = wait forever. For a
+     *  wait-submit this must exceed the expected job time — the result
+     *  frame arrives only when the job finishes. */
+    unsigned timeoutSec = 0;
+    /** Connection retries after the first attempt (exponential
+     *  backoff); 0 = fail on the first ConnectError. */
+    unsigned retries = 0;
+};
+
 class ServiceClient
 {
   public:
     /**
-     * Connect to @p socket_path and consume the server's hello.
-     * @throws ProtocolError if the daemon is unreachable or its
-     *         protocol version differs from kProtocolVersion
+     * Connect to @p socket_path (retrying per @p options) and consume
+     * the server's hello.
+     * @throws ConnectError if the daemon stays unreachable through
+     *         every retry
+     * @throws ProtocolError on handshake mismatch or read timeout
      */
-    explicit ServiceClient(const std::string &socket_path);
+    explicit ServiceClient(const std::string &socket_path,
+                           const ClientOptions &options = {});
 
     ~ServiceClient();
 
@@ -51,7 +87,7 @@ class ServiceClient
 
     /** Read the next frame (e.g. the result after a wait-submit).
      *  @throws ProtocolError on EOF — the server never just hangs up
-     *  mid-session */
+     *  mid-session — or on an expired read deadline */
     Frame readFrame();
 
     void send(const Frame &frame);
@@ -60,6 +96,11 @@ class ServiceClient
     void sendRaw(const std::string &bytes);
 
   private:
+    /** One connect + handshake attempt; throws ConnectError on the
+     *  retryable failures. */
+    void connectOnce(const std::string &socket_path);
+
+    ClientOptions options_;
     int fd_ = -1;
     std::string buffer_;
     Frame hello_;

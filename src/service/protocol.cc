@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault_inject.hh"
 #include "sim/simulator.hh"
 #include "sim/version_info.hh"
 
@@ -295,8 +297,13 @@ errorFrame(const std::string &message)
 }
 
 std::optional<Frame>
-readFrame(int fd, std::string *buffer)
+readFrame(int fd, std::string *buffer, int timeout_ms)
 {
+    // Whole-frame deadline (when requested): poll() with the remaining
+    // budget before each read, so neither a stalled first byte nor a
+    // trickle-fed multi-chunk frame can exceed the caller's bound.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
     // Scan only bytes not examined on a previous pass: a frame near the
     // size cap arrives in hundreds of chunks, and rescanning the whole
     // buffer each time would make the receive quadratic.
@@ -312,6 +319,28 @@ readFrame(int fd, std::string *buffer)
         if (buffer->size() > kMaxFrameBytes)
             throw ProtocolError("frame exceeds " +
                                 std::to_string(kMaxFrameBytes) + " bytes");
+
+        if (timeout_ms >= 0) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline -
+                                           std::chrono::steady_clock::now());
+            if (left.count() <= 0)
+                throw ProtocolError("read timed out waiting for a frame");
+            pollfd pfd{fd, POLLIN, 0};
+            const int ready =
+                ::poll(&pfd, 1, static_cast<int>(left.count()));
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw ProtocolError(std::string("poll failed: ") +
+                                    std::strerror(errno));
+            }
+            if (ready == 0)
+                throw ProtocolError("read timed out waiting for a frame");
+        }
+
+        if (ICFP_FAULT_POINT("protocol.read"))
+            throw ProtocolError("injected fault: read failed");
 
         char chunk[65536];
         const ssize_t n = ::read(fd, chunk, sizeof chunk);
@@ -335,6 +364,13 @@ writeFrame(int fd, const Frame &frame)
 {
     std::string line = frame.serialize();
     line += '\n';
+    if (ICFP_FAULT_POINT("protocol.write")) {
+        // Simulate dying mid-frame: push out a torn prefix (best
+        // effort) so the peer sees bytes-then-silence, the worst case
+        // for its parser, then fail this side's session.
+        ::send(fd, line.data(), line.size() / 2, MSG_NOSIGNAL);
+        throw ProtocolError("injected fault: write failed mid-frame");
+    }
     // Whole-frame deadline: a per-send SO_SNDTIMEO alone would let a
     // peer that trickle-reads a multi-MB frame park this thread forever
     // (each send makes token progress inside its own timeout window).

@@ -27,9 +27,16 @@
  *
  * Frame vocabulary (field lists in sim/service/server.cc, the one
  * producer):
- *   requests:  ping | submit | status | result | stats
+ *   requests:  ping | submit | status | result | stats | cancel
  *   responses: hello | pong | submitted | busy | status | result |
- *              stats | error
+ *              stats | cancelled | error
+ *
+ * `cancel` names a job id; queued jobs are removed immediately, running
+ * jobs are cancelled cooperatively at the engine's next row boundary.
+ * `submit` may carry deadline_sec (a wall-clock limit enforced by the
+ * server's watchdog; an expired job answers a deadline_exceeded error).
+ * Both are additive — an old client simply never sends them — so the
+ * protocol version stays 1.
  *
  * `submit` carries a sweep request (suite, benches, cores, insts, seed,
  * format) and an optional wait flag; the server answers `submitted`
@@ -137,10 +144,17 @@ Frame errorFrame(const std::string &message);
  * Read one '\n'-terminated frame line from @p fd, buffering leftover
  * bytes in @p buffer across calls. Returns nullopt on clean EOF at a
  * frame boundary.
- * @throws ProtocolError on mid-frame EOF, oversized frames, or read
- *         errors
+ *
+ * @param timeout_ms whole-frame read deadline in milliseconds; < 0
+ *        waits forever (the server's choice — an idle session parked
+ *        in read costs nothing and ends at drain via shutdown()).
+ *        Clients pass a deadline so a daemon that accepts then stalls
+ *        degrades to a clean error, never a hang.
+ * @throws ProtocolError on mid-frame EOF, oversized frames, read
+ *         errors, or an expired deadline
  */
-std::optional<Frame> readFrame(int fd, std::string *buffer);
+std::optional<Frame> readFrame(int fd, std::string *buffer,
+                               int timeout_ms = -1);
 
 /** Write @p frame plus its '\n' terminator to @p fd (full write).
  *  @throws ProtocolError on write errors */

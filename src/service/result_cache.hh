@@ -22,8 +22,16 @@
  * recomputes instead of serving stale bytes — the same invalidation
  * discipline the trace store applies to traces.
  *
- * In-memory only (a daemon's lifetime is the cache's lifetime), LRU
- * over a byte cap, thread-safe.
+ * Two tiers. The in-memory tier is LRU over a byte cap, thread-safe.
+ * The optional disk tier (`--cache-dir`) persists every inserted
+ * artifact as `<key-hex>.res` with a checksummed header, published via
+ * writeFileDurable (fsync-then-atomic-rename), so a restarted daemon
+ * serves warm repeats with `cache=hit generations=0 replays=0`. The
+ * disk tier is an optimization with the same trust model as the trace
+ * store: entries that fail the magic/key/size/FNV-1a check on load —
+ * truncated by a crash, bit-flipped, or hand-edited — are deleted and
+ * the result recomputed, never served. It shares the byte cap with the
+ * memory tier and evicts by mtime (a disk hit refreshes the file).
  */
 
 #ifndef ICFP_SERVICE_RESULT_CACHE_HH
@@ -53,20 +61,29 @@ uint64_t resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
                         const std::string &suite, const std::string &format,
                         uint64_t registry_fp);
 
-/** A byte-capped LRU map: result fingerprint → rendered artifact. */
+/**
+ * A byte-capped LRU map (result fingerprint → rendered artifact) with
+ * an optional crash-safe disk tier.
+ */
 class ResultCache
 {
   public:
     struct Stats
     {
-        uint64_t hits = 0;
-        uint64_t misses = 0;
+        uint64_t hits = 0;     ///< memory-tier hits
+        uint64_t misses = 0;   ///< missed both tiers
         uint64_t insertions = 0;
         uint64_t evictions = 0;
+        uint64_t diskHits = 0; ///< served from disk (counted in hits too)
+        uint64_t diskCorrupt = 0;
+        uint64_t diskWriteFailures = 0;
     };
 
-    /** @param max_bytes artifact-byte cap; 0 = unlimited */
-    explicit ResultCache(uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+    /**
+     * @param max_bytes artifact-byte cap (both tiers); 0 = unlimited
+     * @param dir disk-tier directory; empty = memory only
+     */
+    explicit ResultCache(uint64_t max_bytes = 0, std::string dir = "");
 
     /** The artifact for @p key, refreshing its LRU position. */
     std::optional<std::string> lookup(uint64_t key);
@@ -77,6 +94,8 @@ class ResultCache
      * artifact larger than the whole cap is not stored at all.
      * Re-inserting an existing key refreshes it (the bytes are
      * identical by construction — the key is the full identity).
+     * With a disk tier, the entry is also durably persisted; a failed
+     * disk write degrades to memory-only with a warning.
      */
     void insert(uint64_t key, std::string artifact);
 
@@ -84,6 +103,7 @@ class ResultCache
     uint64_t bytes() const;
     size_t entries() const;
     uint64_t maxBytes() const { return max_bytes_; }
+    const std::string &dir() const { return dir_; }
 
   private:
     struct Entry
@@ -92,7 +112,15 @@ class ResultCache
         std::string artifact;
     };
 
+    /** `<dir>/<key-hex>.res` for @p key. */
+    std::string diskPath(uint64_t key) const;
+    /** Verified artifact from disk, or nullopt (corrupt files deleted). */
+    std::optional<std::string> diskLoad(uint64_t key);
+    void diskInsertLocked(uint64_t key, const std::string &artifact);
+    void diskEvictLocked(const std::string &keep_file);
+
     uint64_t max_bytes_;
+    std::string dir_; ///< empty = no disk tier
     mutable std::mutex mutex_;
     std::list<Entry> lru_; ///< most-recently-used first
     std::map<uint64_t, std::list<Entry>::iterator> index_;

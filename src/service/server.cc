@@ -22,7 +22,8 @@ namespace service {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), engine_(options_.jobs),
-      cache_(options_.resultCacheMaxBytes)
+      cache_(options_.resultCacheMaxBytes,
+             options_.cacheDir.value_or(""))
 {
     if (options_.traceDir) {
         engine_.setTraceStore(std::make_shared<TraceStore>(
@@ -67,8 +68,8 @@ Server::start()
     // would silently steal the first one's clients (and its shutdown
     // would delete the live daemon's socket file).
     struct stat existing{};
-    if (::lstat(options_.socketPath.c_str(), &existing) == 0 &&
-        !S_ISSOCK(existing.st_mode)) {
+    const bool stale = ::lstat(options_.socketPath.c_str(), &existing) == 0;
+    if (stale && !S_ISSOCK(existing.st_mode)) {
         ::close(listenFd_);
         listenFd_ = -1;
         throw std::runtime_error(options_.socketPath +
@@ -86,6 +87,13 @@ Server::start()
             throw std::runtime_error("a daemon is already serving " +
                                      options_.socketPath);
         }
+    }
+    if (stale) {
+        // A socket file nobody answers on: the previous daemon died
+        // without its drain epilogue (SIGKILL, OOM, power loss).
+        std::fprintf(stderr,
+                     "icfp-sim serve: reclaimed stale socket %s\n",
+                     options_.socketPath.c_str());
     }
     ::unlink(options_.socketPath.c_str());
     if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
@@ -106,6 +114,7 @@ Server::start()
                  fingerprintHex(registryFingerprint()).c_str());
     acceptThread_ = std::thread(&Server::acceptLoop, this);
     dispatchThread_ = std::thread(&Server::dispatchLoop, this);
+    watchdogThread_ = std::thread(&Server::watchdogLoop, this);
 }
 
 void
@@ -125,6 +134,11 @@ Server::join()
         acceptThread_.join(); // exits on the drain flag, closes listener
     if (dispatchThread_.joinable())
         dispatchThread_.join(); // exits once every accepted job finished
+    // Stop the watchdog only after the dispatcher: deadlines must keep
+    // bounding jobs that execute during the drain.
+    watchdogStop_.store(true);
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
 
     // Every job is now Done/Failed and every waiting submitter has been
     // notified; unblock handler threads parked in read() so they see
@@ -250,6 +264,74 @@ Server::dispatchLoop()
 }
 
 void
+Server::finishJobLocked(const std::shared_ptr<Job> &job)
+{
+    --activeJobs_;
+    // Bound the finished-job history: waiters hold their own
+    // shared_ptr, so expiring the oldest record only ends its
+    // status/result addressability, never a pending delivery.
+    finishedJobs_.push_back(job->id);
+    while (finishedJobs_.size() > kMaxRetainedJobs) {
+        jobs_.erase(finishedJobs_.front());
+        finishedJobs_.pop_front();
+    }
+}
+
+void
+Server::watchdogLoop()
+{
+    while (!watchdogStop_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<std::shared_ptr<Job>> expired_queued;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Expired queued jobs are finished right here: the
+            // dispatcher never sees them, their queue slot frees
+            // immediately, and their waiters get the error now instead
+            // of after everything ahead of them in the queue.
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                Job &job = **it;
+                if (job.hasDeadline && now >= job.deadlineAt) {
+                    job.state = JobState::Failed;
+                    job.deadlineHit = true;
+                    job.error = "deadline_exceeded: queued longer than " +
+                                std::to_string(job.deadlineSec) + "s limit";
+                    ++stats_.failed;
+                    ++stats_.deadlineExpired;
+                    finishJobLocked(*it);
+                    expired_queued.push_back(*it);
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            // A running job is the engine's to stop: flag it and let
+            // executeJob's SweepCancelled path do the bookkeeping at
+            // the next row boundary.
+            for (const auto &[id, job] : jobs_) {
+                if (job->state == JobState::Running && job->hasDeadline &&
+                    now >= job->deadlineAt && !job->deadlineHit) {
+                    job->deadlineHit = true;
+                    job->cancelRequested.store(true);
+                }
+            }
+        }
+        if (!expired_queued.empty()) {
+            completeCv_.notify_all();
+            for (const auto &job : expired_queued) {
+                std::fprintf(stderr,
+                             "icfp-sim serve: job %llu fp=%s "
+                             "DEADLINE_EXCEEDED limit=%llus (queued)\n",
+                             (unsigned long long)job->id,
+                             fingerprintHex(job->fingerprint).c_str(),
+                             (unsigned long long)job->deadlineSec);
+            }
+        }
+    }
+}
+
+void
 Server::executeJob(const std::shared_ptr<Job> &job)
 {
     // The work ledger: a ResultCache hit must advance neither counter —
@@ -258,6 +340,7 @@ Server::executeJob(const std::shared_ptr<Job> &job)
     const uint64_t rep_before = engine_.replays();
 
     bool cached = false;
+    bool was_cancelled = false;
     std::string artifact;
     std::string error;
     if (std::optional<std::string> hit = cache_.lookup(job->fingerprint)) {
@@ -266,10 +349,13 @@ Server::executeJob(const std::shared_ptr<Job> &job)
     } else {
         try {
             const std::vector<SweepResult> results =
-                engine_.run(job->grid, job->insts, job->seed);
+                engine_.run(job->grid, job->insts, job->seed,
+                            &job->cancelRequested);
             artifact = job->format == "json" ? sweepJson(results)
                                              : sweepCsv(results);
             cache_.insert(job->fingerprint, artifact);
+        } catch (const SweepCancelled &) {
+            was_cancelled = true;
         } catch (const std::exception &e) {
             error = e.what();
         }
@@ -279,7 +365,18 @@ Server::executeJob(const std::shared_ptr<Job> &job)
     const uint64_t replays = engine_.replays() - rep_before;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!error.empty()) {
+        if (was_cancelled && job->deadlineHit) {
+            // The watchdog set the flag: this is a timeout, not a
+            // client cancel, and answers as an explicit failure.
+            job->state = JobState::Failed;
+            job->error = "deadline_exceeded: exceeded " +
+                         std::to_string(job->deadlineSec) + "s limit";
+            ++stats_.failed;
+            ++stats_.deadlineExpired;
+        } else if (was_cancelled) {
+            job->state = JobState::Cancelled;
+            ++stats_.cancelled;
+        } else if (!error.empty()) {
             job->state = JobState::Failed;
             job->error = error;
             ++stats_.failed;
@@ -290,19 +387,24 @@ Server::executeJob(const std::shared_ptr<Job> &job)
             ++stats_.completed;
             ++(cached ? stats_.cacheHits : stats_.cacheMisses);
         }
-        --activeJobs_;
-        // Bound the finished-job history: waiters hold their own
-        // shared_ptr, so expiring the oldest record only ends its
-        // status/result addressability, never a pending delivery.
-        finishedJobs_.push_back(job->id);
-        while (finishedJobs_.size() > kMaxRetainedJobs) {
-            jobs_.erase(finishedJobs_.front());
-            finishedJobs_.pop_front();
-        }
+        finishJobLocked(job);
     }
     completeCv_.notify_all();
 
-    if (error.empty()) {
+    if (was_cancelled && job->deadlineHit) {
+        std::fprintf(stderr,
+                     "icfp-sim serve: job %llu fp=%s DEADLINE_EXCEEDED "
+                     "limit=%llus\n",
+                     (unsigned long long)job->id,
+                     fingerprintHex(job->fingerprint).c_str(),
+                     (unsigned long long)job->deadlineSec);
+    } else if (was_cancelled) {
+        std::fprintf(stderr,
+                     "icfp-sim serve: job %llu fp=%s CANCELLED at row "
+                     "boundary\n",
+                     (unsigned long long)job->id,
+                     fingerprintHex(job->fingerprint).c_str());
+    } else if (error.empty()) {
         std::fprintf(stderr,
                      "icfp-sim serve: job %llu fp=%s cache=%s "
                      "generations=%llu replays=%llu rows=%zu bytes=%zu\n",
@@ -328,6 +430,7 @@ Server::stateName(JobState state)
       case JobState::Running: return "running";
       case JobState::Done: return "done";
       case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
     }
     return "?";
 }
@@ -434,6 +537,17 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
     job->seed = seed;
     job->fingerprint = resultCacheKey(job->grid, insts, seed, suite,
                                       format, registryFingerprint());
+    // Per-job deadline: frame field overrides the daemon default; 0
+    // (either way) means unbounded. The clock starts at submission —
+    // queue wait counts against the limit, matching what a client's own
+    // wall-clock budget would measure.
+    job->deadlineSec =
+        request.uintField("deadline_sec", options_.deadlineSec);
+    if (job->deadlineSec > 0) {
+        job->hasDeadline = true;
+        job->deadlineAt = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(job->deadlineSec);
+    }
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -461,6 +575,64 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
     return frame;
 }
 
+Frame
+Server::handleCancel(const Frame &request)
+{
+    const std::optional<uint64_t> id = request.uintField("job");
+    if (!id)
+        return errorFrame("missing job id");
+
+    std::shared_ptr<Job> queued_cancel;
+    Frame response = errorFrame("unknown job " + std::to_string(*id));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(*id);
+        if (it != jobs_.end()) {
+            const std::shared_ptr<Job> &job = it->second;
+            if (job->state == JobState::Queued) {
+                // Remove from the queue right here: the slot frees
+                // immediately and the dispatcher never sees the job.
+                for (auto qit = queue_.begin(); qit != queue_.end();
+                     ++qit) {
+                    if (*qit == job) {
+                        queue_.erase(qit);
+                        break;
+                    }
+                }
+                job->state = JobState::Cancelled;
+                ++stats_.cancelled;
+                finishJobLocked(job);
+                queued_cancel = job;
+                response = Frame("cancelled");
+                response.addUint("job", job->id);
+                response.addString("was", "queued");
+            } else if (job->state == JobState::Running) {
+                // Best effort: the engine observes the flag at the next
+                // row boundary; executeJob does the state transition.
+                // The answer is immediate — cancellation is a request,
+                // status/wait report when it lands.
+                job->cancelRequested.store(true);
+                response = Frame("cancelled");
+                response.addUint("job", job->id);
+                response.addString("was", "running");
+            } else {
+                response = errorFrame(
+                    "job " + std::to_string(job->id) + " already " +
+                    stateName(job->state));
+            }
+        }
+    }
+    if (queued_cancel) {
+        completeCv_.notify_all();
+        std::fprintf(stderr,
+                     "icfp-sim serve: job %llu fp=%s CANCELLED while "
+                     "queued\n",
+                     (unsigned long long)queued_cancel->id,
+                     fingerprintHex(queued_cancel->fingerprint).c_str());
+    }
+    return response;
+}
+
 void
 Server::handleConnection(int fd, uint64_t conn_id)
 {
@@ -486,6 +658,8 @@ Server::handleConnection(int fd, uint64_t conn_id)
                 frame.addUint("cache_misses", s.cacheMisses);
                 frame.addUint("generations", s.generations);
                 frame.addUint("replays", s.replays);
+                frame.addUint("cancelled", s.cancelled);
+                frame.addUint("deadline_expired", s.deadlineExpired);
                 frame.addUint("cache_entries", cache_.entries());
                 frame.addUint("cache_bytes", cache_.bytes());
                 writeFrame(fd, frame);
@@ -531,16 +705,22 @@ Server::handleConnection(int fd, uint64_t conn_id)
                     std::unique_lock<std::mutex> lock(mutex_);
                     completeCv_.wait(lock, [&] {
                         return job->state == JobState::Done ||
-                               job->state == JobState::Failed;
+                               job->state == JobState::Failed ||
+                               job->state == JobState::Cancelled;
                     });
-                    const Frame response =
-                        job->state == JobState::Done
-                            ? jobResultFrame(*job)
-                            : errorFrame("job " + std::to_string(job->id) +
-                                         " failed: " + job->error);
+                    Frame response = errorFrame(
+                        "job " + std::to_string(job->id) + " cancelled");
+                    if (job->state == JobState::Done)
+                        response = jobResultFrame(*job);
+                    else if (job->state == JobState::Failed)
+                        response =
+                            errorFrame("job " + std::to_string(job->id) +
+                                       " failed: " + job->error);
                     lock.unlock();
                     writeFrame(fd, response);
                 }
+            } else if (type == "cancel") {
+                writeFrame(fd, handleCancel(*request));
             } else {
                 writeFrame(fd,
                            errorFrame("unknown request type '" + type +

@@ -46,6 +46,7 @@
 #define ICFP_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -72,6 +73,12 @@ struct ServerOptions
     /** Persistent trace store directory (overrides ICFP_TRACE_DIR). */
     std::optional<std::string> traceDir;
     uint64_t resultCacheMaxBytes = 256 * 1024 * 1024;
+    /** Persistent result-cache directory (the disk tier of
+     *  service/result_cache.hh); unset = memory-only cache. */
+    std::optional<std::string> cacheDir;
+    /** Default per-job wall-clock limit in seconds (0 = none); a
+     *  submit frame's deadline_sec field overrides it per job. */
+    uint64_t deadlineSec = 0;
 };
 
 /** Finished-job records kept for `status`/`result` (see jobs_). */
@@ -88,6 +95,8 @@ struct ServerStats
     uint64_t cacheMisses = 0; ///< jobs that had to run the grid
     uint64_t generations = 0; ///< engine trace generations (lifetime)
     uint64_t replays = 0;     ///< engine simulate() calls (lifetime)
+    uint64_t cancelled = 0;   ///< jobs cancelled via the cancel verb
+    uint64_t deadlineExpired = 0; ///< jobs killed by their deadline
 };
 
 class Server
@@ -124,7 +133,7 @@ class Server
     SweepEngine &engine() { return engine_; }
 
   private:
-    enum class JobState { Queued, Running, Done, Failed };
+    enum class JobState { Queued, Running, Done, Failed, Cancelled };
 
     /** One submitted sweep request and (eventually) its artifact. */
     struct Job
@@ -137,6 +146,15 @@ class Server
         std::optional<uint64_t> seed;
         uint64_t fingerprint = 0;    ///< resultCacheKey()
 
+        /** Cooperative cancel flag handed to SweepEngine::run(); set by
+         *  the cancel verb or the deadline watchdog while the engine is
+         *  mid-grid (atomic: read by workers without mutex_). */
+        std::atomic<bool> cancelRequested{false};
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadlineAt{};
+        uint64_t deadlineSec = 0;    ///< for the error message
+        bool deadlineHit = false;    ///< watchdog-cancelled, not client
+
         JobState state = JobState::Queued;
         bool cached = false;
         std::string artifact;        ///< rendered report (Done)
@@ -145,10 +163,16 @@ class Server
 
     void acceptLoop();
     void dispatchLoop();
+    void watchdogLoop();
     void executeJob(const std::shared_ptr<Job> &job);
     void handleConnection(int fd, uint64_t conn_id);
     void reapFinishedConnections();
     Frame handleSubmit(const Frame &request, std::shared_ptr<Job> *out);
+    Frame handleCancel(const Frame &request);
+    /** Shared end-of-life bookkeeping (mutex_ held): frees the queue
+     *  slot and retires the record into the bounded finished history.
+     *  Callers notify completeCv_ after unlocking. */
+    void finishJobLocked(const std::shared_ptr<Job> &job);
     Frame jobStatusFrame(const Job &job) const;
     Frame jobResultFrame(const Job &job) const;
     static const char *stateName(JobState state);
@@ -161,6 +185,12 @@ class Server
     std::atomic<bool> draining_{false};
     std::thread acceptThread_;
     std::thread dispatchThread_;
+    /** Deadline watchdog: a 50ms poll over the job table that expires
+     *  queued jobs directly and flags running ones for cooperative
+     *  cancellation. Runs through the drain (deadlines still bound
+     *  drain time) and stops only once the dispatcher has exited. */
+    std::thread watchdogThread_;
+    std::atomic<bool> watchdogStop_{false};
 
     mutable std::mutex mutex_; ///< queue, jobs table, stats
     std::condition_variable queueCv_;    ///< dispatcher wakeups

@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "sim/trace_store.hh"
 
@@ -267,7 +268,8 @@ SweepEngine::runOnTrace(const Trace &trace,
 
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
-                 std::optional<uint64_t> seed)
+                 std::optional<uint64_t> seed,
+                 const std::atomic<bool> *cancel)
 {
     // Validate every bench name on the calling thread first:
     // findBenchmark is fatal on an unknown name, and exit(1) must not
@@ -280,9 +282,19 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
     for (const std::string &bench : benches)
         findBenchmark(bench);
 
+    // Cooperative cancellation: polled once per row (bench in phase 1,
+    // grid cell in phase 2). A worker that observes the flag throws
+    // SweepCancelled; parallelFor joins every sibling and rethrows the
+    // first exception, so run() exits cleanly with the engine reusable.
+    const auto checkCancel = [cancel]() {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            throw SweepCancelled();
+    };
+
     // Phase 1: generate each distinct golden trace exactly once, in
     // parallel across benches.
     parallelFor(benches.size(), jobs_, [&](size_t i) {
+        checkCancel();
         trace(benches[i], insts, seed);
     });
 
@@ -291,6 +303,10 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
     // vary while result order stays fixed.
     std::vector<SweepResult> results(jobs.size());
     parallelFor(jobs.size(), jobs_, [&](size_t i) {
+        checkCancel();
+        if (ICFP_FAULT_POINT("sweep.job"))
+            throw std::runtime_error(
+                "injected fault: sweep job execution failed");
         const SweepJob &job = jobs[i];
         SweepResult &out = results[i];
         out.bench = job.bench;

@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -158,6 +159,23 @@ unsigned defaultSweepJobs();
 class TraceStore; // sim/trace_store.hh
 
 /**
+ * Thrown by SweepEngine::run() when the caller's cancel flag is
+ * observed set. Cancellation is cooperative and checked at row
+ * boundaries (per-bench in trace generation, per-grid-cell in replay),
+ * so a cancelled sweep stops within one simulate() call and leaves the
+ * engine fully reusable — traces already generated stay cached, and
+ * the trace store is never left with a partial file (its writes are
+ * atomic). This flag is the groundwork for the federation item's
+ * straggler re-dispatch: a re-dispatched row's original owner is
+ * cancelled exactly this way.
+ */
+class SweepCancelled : public std::runtime_error
+{
+  public:
+    SweepCancelled() : std::runtime_error("sweep cancelled") {}
+};
+
+/**
  * The batch runner. Reusable: traces are cached across run() calls.
  *
  * Trace lookups go memory cache → persistent TraceStore → generation.
@@ -197,10 +215,15 @@ class SweepEngine
      * Run pre-expanded jobs; results in input order. Traces for distinct
      * benches are generated in parallel, each exactly once, then shared
      * (read-only) by every job that replays that bench.
+     *
+     * @param cancel optional cooperative cancel flag, polled at row
+     *        boundaries; when observed set, run() throws SweepCancelled
+     *        (see that class for the guarantees)
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
                                  uint64_t insts,
-                                 std::optional<uint64_t> seed = std::nullopt);
+                                 std::optional<uint64_t> seed = std::nullopt,
+                                 const std::atomic<bool> *cancel = nullptr);
 
     /**
      * Run every variant over one explicit (e.g. file-loaded) trace,

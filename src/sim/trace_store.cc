@@ -11,6 +11,7 @@
 
 #include <unistd.h>
 
+#include "common/durable_file.hh"
 #include "common/logging.hh"
 #include "isa/trace_io.hh"
 
@@ -222,34 +223,17 @@ TraceStore::store(const TraceId &id, const Trace &trace)
     putU64(&blob, payload.size());
     blob += payload;
 
-    // Unique temp name per process; the final rename is atomic, so
-    // concurrent writers race benignly (deterministic generation means
-    // both candidates are identical).
+    // Durable publish (fsync-then-rename): an un-fsynced rename can
+    // survive a crash that its data blocks do not, and a zero-filled
+    // .trc would cost a corrupt-detect-regenerate round trip on every
+    // restart. The store stays an optimization, so a failed write only
+    // warns. Concurrent writers of the same id race benignly through
+    // unique temps (deterministic generation: both candidates are
+    // identical).
     const fs::path path = fs::path(dir_) / id.fileName();
-    const fs::path tmp =
-        path.string() + ".tmp." + std::to_string(::getpid()) + "." +
-        std::to_string(static_cast<unsigned long long>(
-            std::hash<std::thread::id>{}(std::this_thread::get_id())));
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            ICFP_WARN("trace store: cannot write %s", tmp.c_str());
-            return;
-        }
-        os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-        os.flush();
-        if (!os) {
-            ICFP_WARN("trace store: write to %s failed", tmp.c_str());
-            removeQuietly(tmp);
-            return;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        ICFP_WARN("trace store: rename to %s failed: %s", path.c_str(),
-                  ec.message().c_str());
-        removeQuietly(tmp);
+    std::string err;
+    if (!writeFileDurable(path.string(), blob, "trace_store", &err)) {
+        ICFP_WARN("trace store: %s", err.c_str());
         return;
     }
 

@@ -8,14 +8,31 @@
  * served from the ResultCache with zero trace generations and zero
  * replays, concurrent clients with distinct grids, bounded-queue `busy`
  * backpressure, and graceful drain finishing every in-flight job.
+ *
+ * Robustness layer: read deadlines and injected read/write faults at
+ * the protocol level, client retry/timeout behaviour against stalled
+ * or absent daemons, stale-socket reclaim, the persistent result-cache
+ * tier across daemon restarts (warm hit with zero generations and zero
+ * replays; corrupt entries regenerated, never served), job cancel
+ * (queued and running) and per-job deadlines, and injected job-level
+ * faults answered with explicit error frames while the daemon and a
+ * clean resubmit keep working.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/fault_inject.hh"
 #include "service/client.hh"
 #include "service/protocol.hh"
 #include "service/result_cache.hh"
@@ -491,6 +508,552 @@ TEST_F(ServiceTest, GracefulDrainFinishesEveryAcceptedJob)
 
     // The listener is gone: new connections fail cleanly.
     EXPECT_THROW(ServiceClient{socket_}, ProtocolError);
+}
+
+// ------------------------------------------------------ protocol faults
+
+/** Socketpair-based tests: single-threaded, so the process-global
+ *  fault registry's hit ordering is fully deterministic. */
+class ProtocolFaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        fault::disarmAll();
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    }
+    void TearDown() override
+    {
+        ::close(fds_[0]);
+        ::close(fds_[1]);
+        fault::disarmAll();
+    }
+
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(ProtocolFaultTest, ReadFrameHonorsWholeFrameDeadline)
+{
+    std::string buffer;
+    // Nothing ever arrives: the deadline, not the caller, ends the wait.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        {
+            try {
+                readFrame(fds_[0], &buffer, 200);
+            } catch (const ProtocolError &e) {
+                EXPECT_NE(std::string(e.what()).find("timed out"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        ProtocolError);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(150));
+    EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+    // A frame that arrives inside the budget is delivered normally.
+    writeFrame(fds_[1], Frame("ping"));
+    const std::optional<Frame> frame = readFrame(fds_[0], &buffer, 1000);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type(), "ping");
+}
+
+TEST_F(ProtocolFaultTest, ReadFaultSurfacesAsProtocolError)
+{
+    // The injected read failure fires before the kernel read, so it
+    // hits even with bytes already queued on the socket.
+    writeFrame(fds_[1], Frame("ping"));
+    ASSERT_TRUE(fault::armSpec("protocol.read:1"));
+    std::string buffer;
+    EXPECT_THROW(readFrame(fds_[0], &buffer), ProtocolError);
+    EXPECT_EQ(fault::firedCount("protocol.read"), 1u);
+
+    // One-shot: the retry reads the queued frame.
+    const std::optional<Frame> frame = readFrame(fds_[0], &buffer);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type(), "ping");
+}
+
+TEST_F(ProtocolFaultTest, WriteFaultTearsTheFrameMidLine)
+{
+    Frame pong("pong");
+    pong.addUint("n", 12345);
+    const std::string line = pong.serialize() + "\n";
+
+    ASSERT_TRUE(fault::armSpec("protocol.write:1"));
+    EXPECT_THROW(writeFrame(fds_[0], pong), ProtocolError);
+
+    // The peer sees exactly the torn prefix: bytes then silence, no
+    // newline — the worst case its parser must survive.
+    char chunk[256];
+    const ssize_t n = ::recv(fds_[1], chunk, sizeof chunk, MSG_DONTWAIT);
+    ASSERT_EQ(static_cast<size_t>(n), line.size() / 2);
+    EXPECT_EQ(std::string(chunk, n), line.substr(0, line.size() / 2));
+    EXPECT_EQ(std::string(chunk, n).find('\n'), std::string::npos);
+}
+
+// ----------------------------------------------------- client resilience
+
+TEST_F(ServiceTest, ClientTimeoutUnwedgesAcceptThenStallDaemon)
+{
+    // The satellite regression: a daemon that accepts and then never
+    // speaks. Without a read deadline the old client blocked forever in
+    // the handshake read. A raw listener (never accepts, never writes)
+    // reproduces it: the unix-socket connect completes via the backlog.
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listener, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(socket_.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, socket_.c_str(), socket_.size() + 1);
+    ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof addr), 0);
+    ASSERT_EQ(::listen(listener, 4), 0);
+
+    ClientOptions copts;
+    copts.timeoutSec = 1;
+    copts.retries = 5; // a timeout must NOT be retried
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        {
+            try {
+                ServiceClient client(socket_, copts);
+            } catch (const ProtocolError &e) {
+                EXPECT_NE(std::string(e.what()).find("timed out"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        ProtocolError);
+    // One ~1s attempt, not six: a retried timeout would multiply the
+    // hang by the retry count.
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(4));
+    ::close(listener);
+}
+
+TEST_F(ServiceTest, ClientRetriesUntilTheDaemonAppears)
+{
+    // No retries: an absent daemon fails immediately and typed.
+    EXPECT_THROW(ServiceClient{socket_}, ConnectError);
+
+    // With retries armed, a daemon that comes up mid-backoff is reached.
+    Server server(options());
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        server.start();
+    });
+    ClientOptions copts;
+    copts.retries = 8;
+    {
+        ServiceClient client(socket_, copts);
+        EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+    }
+    starter.join();
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, StaleSocketFileReclaimedOnStart)
+{
+    // A previous daemon died hard (SIGKILL): its socket file survives
+    // but nothing listens. A new daemon must reclaim the path instead
+    // of refusing to start.
+    const int dead = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(dead, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_.c_str(), socket_.size() + 1);
+    ASSERT_EQ(::bind(dead, reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof addr), 0);
+    ::close(dead); // no listener survives; the file does
+    ASSERT_TRUE(fs::exists(socket_));
+
+    Server server(options());
+    server.start(); // would throw if it treated the stale file as live
+    ServiceClient client(socket_);
+    EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+    server.requestDrain();
+    server.join();
+}
+
+// --------------------------------------------------- persistent results
+
+TEST_F(ServiceTest, PersistentCacheServesWarmRepeatAcrossRestart)
+{
+    const std::string cache_dir = dir_ + "/cache";
+    ServerOptions opts1 = options();
+    opts1.cacheDir = cache_dir;
+
+    std::string cold_payload;
+    {
+        Server server(opts1);
+        server.start();
+        ServiceClient client(socket_);
+        const Frame ack = client.request(
+            submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+        ASSERT_EQ(ack.type(), "submitted");
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result");
+        EXPECT_EQ(result.uintField("cached", 1), 0u);
+        cold_payload = result.stringField("payload");
+        server.requestDrain();
+        server.join();
+    }
+    EXPECT_EQ(cold_payload, directSweep("mcf,gzip", "in-order,icfp", 3000));
+
+    // Restart: same cache dir, but a FRESH trace dir — if the warm hit
+    // did any real work it would show up as trace generations.
+    ServerOptions opts2 = options();
+    opts2.cacheDir = cache_dir;
+    opts2.traceDir = dir_ + "/traces-after-restart";
+    Server server(opts2);
+    server.start();
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    EXPECT_EQ(result.uintField("cached", 0), 1u);
+    EXPECT_EQ(result.stringField("payload"), cold_payload);
+
+    // The service contract survives the restart: zero generations,
+    // zero replays for a warm repeat.
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.generations, 0u);
+    EXPECT_EQ(stats.replays, 0u);
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, CorruptPersistedEntryRegeneratedNotServed)
+{
+    const std::string cache_dir = dir_ + "/cache";
+    ServerOptions opts = options();
+    opts.cacheDir = cache_dir;
+
+    std::string cold_payload;
+    {
+        Server server(opts);
+        server.start();
+        ServiceClient client(socket_);
+        client.request(submitFrame("gzip", "in-order,icfp", 3000, true));
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result");
+        cold_payload = result.stringField("payload");
+        server.requestDrain();
+        server.join();
+    }
+
+    // Simulate a torn persist: truncate every published entry.
+    size_t truncated = 0;
+    for (const fs::directory_entry &de : fs::directory_iterator(cache_dir)) {
+        if (de.path().extension() != ".res")
+            continue;
+        fs::resize_file(de.path(), fs::file_size(de.path()) / 2);
+        ++truncated;
+    }
+    ASSERT_GE(truncated, 1u);
+
+    Server server(opts);
+    server.start();
+    ServiceClient client(socket_);
+    client.request(submitFrame("gzip", "in-order,icfp", 3000, true));
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    // Recomputed (cached=0), and the bytes are right — a checksum-less
+    // cache would have served the torn payload as a "hit".
+    EXPECT_EQ(result.uintField("cached", 1), 0u);
+    EXPECT_EQ(result.stringField("payload"), cold_payload);
+    server.requestDrain();
+    server.join();
+}
+
+TEST(ResultCacheTest, DiskTierPersistsAcrossInstances)
+{
+    const std::string dir = makeTempDir();
+    {
+        ResultCache cache(1 << 20, dir);
+        cache.insert(0x1234, "persisted artifact bytes");
+    }
+    // A fresh instance (fresh process stand-in) with an empty memory
+    // tier promotes the entry from disk.
+    ResultCache warm(1 << 20, dir);
+    const std::optional<std::string> hit = warm.lookup(0x1234);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "persisted artifact bytes");
+    EXPECT_EQ(warm.stats().diskHits, 1u);
+    // Promoted: the second lookup is a pure memory hit.
+    EXPECT_TRUE(warm.lookup(0x1234).has_value());
+    EXPECT_EQ(warm.stats().diskHits, 1u);
+    EXPECT_EQ(warm.stats().hits, 2u);
+    fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, TruncatedDiskEntryDetectedDeletedRecomputed)
+{
+    const std::string dir = makeTempDir();
+    {
+        ResultCache cache(1 << 20, dir);
+        cache.insert(7, "some artifact payload worth caching");
+    }
+    fs::path entry;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir))
+        if (de.path().extension() == ".res")
+            entry = de.path();
+    ASSERT_FALSE(entry.empty());
+    fs::resize_file(entry, fs::file_size(entry) / 2);
+
+    ResultCache cache(1 << 20, dir);
+    EXPECT_FALSE(cache.lookup(7).has_value());
+    EXPECT_EQ(cache.stats().diskCorrupt, 1u);
+    EXPECT_FALSE(fs::exists(entry)); // deleted, not retried forever
+
+    // The recompute path re-publishes cleanly.
+    cache.insert(7, "recomputed payload");
+    ResultCache again(1 << 20, dir);
+    EXPECT_EQ(again.lookup(7).value_or(""), "recomputed payload");
+    fs::remove_all(dir);
+}
+
+TEST(ResultCacheTest, DiskTierHonorsByteCapByRecency)
+{
+    const std::string dir = makeTempDir();
+    const std::string payload(100, 'x'); // entry file ≈ 132 bytes
+    ResultCache cache(200, dir);
+    cache.insert(1, payload);
+    // Age the first entry so mtime ordering is unambiguous.
+    fs::path first;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir))
+        if (de.path().extension() == ".res")
+            first = de.path();
+    ASSERT_FALSE(first.empty());
+    fs::last_write_time(first, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+
+    cache.insert(2, payload); // over the cap: the older entry goes
+    EXPECT_FALSE(fs::exists(first));
+    size_t remaining = 0;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir))
+        if (de.path().extension() == ".res")
+            ++remaining;
+    EXPECT_EQ(remaining, 1u);
+    // Memory still serves both; only the disk tier was trimmed.
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_TRUE(cache.lookup(2).has_value());
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------- job lifecycle
+
+TEST_F(ServiceTest, CancelQueuedJobFreesItsQueueSlot)
+{
+    // One runner, depth 2: a heavy running job plus one queued job fill
+    // the queue. Cancelling the queued one must free its slot now, not
+    // when the runner would have reached it.
+    Server server(options(1, 2));
+    server.start();
+
+    ServiceClient client(socket_);
+    const Frame heavy =
+        client.request(submitFrame("mcf", "all", 400000, false));
+    ASSERT_EQ(heavy.type(), "submitted");
+    const Frame queued =
+        client.request(submitFrame("gzip", "in-order", 2000, false));
+    ASSERT_EQ(queued.type(), "submitted");
+    const uint64_t queued_id = queued.uintField("job", 0);
+
+    // Queue full: a third submit is refused...
+    EXPECT_EQ(client.request(submitFrame("vpr", "in-order", 2000, false))
+                  .type(),
+              "busy");
+
+    Frame cancel("cancel");
+    cancel.addUint("job", queued_id);
+    const Frame answer = client.request(cancel);
+    ASSERT_EQ(answer.type(), "cancelled");
+    EXPECT_EQ(answer.stringField("was"), "queued");
+
+    Frame status("status");
+    status.addUint("job", queued_id);
+    EXPECT_EQ(client.request(status).stringField("state"), "cancelled");
+
+    // ...and accepted once the cancelled job's slot is free.
+    EXPECT_EQ(client.request(submitFrame("vpr", "in-order", 2000, false))
+                  .type(),
+              "submitted");
+
+    // Cancelling a finished job is an explicit error, not a crash.
+    EXPECT_EQ(client.request(cancel).type(), "error");
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.stats().cancelled, 1u);
+    EXPECT_EQ(server.stats().completed, 2u); // heavy + vpr still finish
+}
+
+TEST_F(ServiceTest, CancelRunningJobStopsAtRowBoundary)
+{
+    Server server(options(1, 4));
+    server.start();
+
+    ServiceClient client(socket_);
+    // 4 benches x full scheme column: dozens of rows, so cancellation
+    // lands long before natural completion.
+    const Frame ack = client.request(
+        submitFrame("mcf,equake,gzip,vpr", "all", 400000, false));
+    ASSERT_EQ(ack.type(), "submitted");
+    const uint64_t id = ack.uintField("job", 0);
+
+    // Wait until it is actually running (not just queued).
+    Frame status("status");
+    status.addUint("job", id);
+    for (int i = 0; i < 500; ++i) {
+        if (client.request(status).stringField("state") == "running")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(client.request(status).stringField("state"), "running");
+
+    Frame cancel("cancel");
+    cancel.addUint("job", id);
+    const Frame answer = client.request(cancel);
+    ASSERT_EQ(answer.type(), "cancelled");
+    EXPECT_EQ(answer.stringField("was"), "running");
+
+    // The engine observes the flag at the next row boundary.
+    std::string state;
+    for (int i = 0; i < 3000; ++i) {
+        state = client.request(status).stringField("state");
+        if (state == "cancelled")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(state, "cancelled");
+
+    // The daemon (and this very session) is fully alive afterwards.
+    EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+    const Frame after = client.request(
+        submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(after.type(), "submitted");
+    EXPECT_EQ(client.readFrame().type(), "result");
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST_F(ServiceTest, DeadlineExceededAnswersExplicitError)
+{
+    Server server(options(1, 4));
+    server.start();
+
+    ServiceClient client(socket_);
+    Frame submit = submitFrame("mcf,equake,gzip,vpr", "all", 400000, true);
+    submit.addUint("deadline_sec", 1);
+    const Frame ack = client.request(submit);
+    ASSERT_EQ(ack.type(), "submitted");
+
+    // The watchdog expires the job; the waiter gets a typed error, the
+    // runner's slot frees, and the daemon keeps serving.
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "error");
+    EXPECT_NE(result.stringField("message").find("deadline_exceeded"),
+              std::string::npos);
+    EXPECT_GE(server.stats().deadlineExpired, 1u);
+
+    const Frame after = client.request(
+        submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(after.type(), "submitted");
+    EXPECT_EQ(client.readFrame().type(), "result");
+
+    server.requestDrain();
+    server.join();
+}
+
+// --------------------------------------------------- daemon under faults
+
+/** Daemon tests that arm the process-global fault registry. */
+class ServiceFaultTest : public ServiceTest
+{
+  protected:
+    void SetUp() override
+    {
+        ServiceTest::SetUp();
+        fault::disarmAll();
+    }
+    void TearDown() override
+    {
+        fault::disarmAll();
+        ServiceTest::TearDown();
+    }
+};
+
+TEST_F(ServiceFaultTest, SweepJobFaultAnswersErrorThenCleanResubmit)
+{
+    Server server(options());
+    server.start();
+    ServiceClient client(socket_);
+
+    // One row in the grid, so the armed fault hits exactly that job.
+    ASSERT_TRUE(fault::armSpec("sweep.job:1"));
+    const Frame ack =
+        client.request(submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    const Frame failed = client.readFrame();
+    ASSERT_EQ(failed.type(), "error");
+    EXPECT_NE(failed.stringField("message").find("injected fault"),
+              std::string::npos);
+    fault::disarmAll();
+
+    // A failed job is never cached: the resubmit recomputes and the
+    // bytes match a direct sweep exactly.
+    const Frame ack2 =
+        client.request(submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(ack2.type(), "submitted");
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    EXPECT_EQ(result.uintField("cached", 1), 0u);
+    EXPECT_EQ(result.stringField("payload"),
+              directSweep("gzip", "in-order", 2000));
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.stats().failed, 1u);
+    EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST_F(ServiceFaultTest, TornResponseWriteKillsSessionNotDaemon)
+{
+    Server server(options());
+    server.start();
+
+    ServiceClient client(socket_); // handshake completes unarmed
+    // From here the only writeFrame call in flight is the server's pong
+    // (sendRaw bypasses the client-side writeFrame), so the ordering is
+    // deterministic even though the registry is process-global.
+    ASSERT_TRUE(fault::armSpec("protocol.write:1"));
+    client.sendRaw(Frame("ping").serialize() + "\n");
+    // The torn pong reaches us as garbage-then-error or garbage-then-
+    // EOF; either way this session is over and surfaces typed.
+    bool session_died = false;
+    try {
+        const Frame frame = client.readFrame();
+        session_died = frame.type() == "error";
+    } catch (const ProtocolError &) {
+        session_died = true;
+    }
+    EXPECT_TRUE(session_died);
+    fault::disarmAll();
+
+    // The daemon shrugged the session off and keeps serving.
+    ServiceClient next(socket_);
+    EXPECT_EQ(next.request(Frame("ping")).type(), "pong");
+    server.requestDrain();
+    server.join();
 }
 
 } // namespace

@@ -3,9 +3,11 @@
  * Persistent trace store tests (sim/trace_store.hh): round-trip
  * hit/miss, full-tuple (bench, insts, seed) keying, corruption
  * detection (bit-flip → regeneration, not a crash), atomic writes (no
- * partial files visible), LRU eviction order, and the SweepEngine
+ * partial files visible), LRU eviction order, the SweepEngine
  * integration that makes a second sweep over the same grid perform
- * zero trace generations.
+ * zero trace generations, and the fault-injected crash-durability
+ * paths (fsync failure degrades the store, a torn publication is
+ * caught by the reader's checksum and regenerated).
  */
 
 #include <gtest/gtest.h>
@@ -16,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_inject.hh"
 #include "isa/trace_io.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
@@ -57,8 +60,16 @@ genTrace(const std::string &bench, uint64_t insts,
 class TraceStoreTest : public ::testing::Test
 {
   protected:
-    void SetUp() override { dir_ = makeTempDir(); }
-    void TearDown() override { fs::remove_all(dir_); }
+    void SetUp() override
+    {
+        fault::disarmAll();
+        dir_ = makeTempDir();
+    }
+    void TearDown() override
+    {
+        fs::remove_all(dir_);
+        fault::disarmAll();
+    }
 
     fs::path storePath(const TraceId &id) { return fs::path(dir_) / id.fileName(); }
 
@@ -336,6 +347,80 @@ TEST_F(TraceStoreTest, FromEnvHonorsTraceDirVariable)
     EXPECT_EQ(TraceStore::fromEnv(), nullptr);
     SweepEngine bare(1);
     EXPECT_EQ(bare.traceStore(), nullptr);
+}
+
+TEST_F(TraceStoreTest, FsyncFaultDegradesStoreGracefully)
+{
+    // A store() that cannot make the bytes durable must warn and skip
+    // the publication — never publish an unsynced file that a crash
+    // could tear. The store stays usable afterwards.
+    TraceStore store(dir_);
+    const TraceId id{"gzip", 1000, std::nullopt};
+    const Trace trace = genTrace("gzip", 1000);
+
+    ASSERT_TRUE(fault::armSpec("trace_store.fsync:1"));
+    store.store(id, trace);
+    EXPECT_EQ(fault::firedCount("trace_store.fsync"), 1u);
+    EXPECT_EQ(store.stats().writes, 0u);
+    EXPECT_FALSE(fs::exists(storePath(id)));
+    EXPECT_FALSE(store.load(id).has_value());
+
+    // The fault was one-shot: the retry publishes normally and hits.
+    store.store(id, trace);
+    EXPECT_EQ(store.stats().writes, 1u);
+    EXPECT_TRUE(store.load(id).has_value());
+}
+
+TEST_F(TraceStoreTest, RenameFaultLeavesNoPartialFiles)
+{
+    TraceStore store(dir_);
+    const TraceId id{"gzip", 1000, std::nullopt};
+
+    ASSERT_TRUE(fault::armSpec("trace_store.rename:1"));
+    store.store(id, genTrace("gzip", 1000));
+    EXPECT_EQ(store.stats().writes, 0u);
+    // Neither the destination nor an orphaned temp survives.
+    EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(TraceStoreTest, TornPublicationCaughtByChecksumAndRegenerated)
+{
+    // The write.torn fault reports success after publishing only half
+    // the bytes — the crash the writer never saw. The embedded hash
+    // must catch it on load: miss + corrupt-count + file removed, and
+    // an engine regenerates the identical trace.
+    TraceStore store(dir_);
+    const TraceId id{"gzip", 1000, std::nullopt};
+    const Trace trace = genTrace("gzip", 1000);
+
+    ASSERT_TRUE(fault::armSpec("trace_store.write.torn:1"));
+    store.store(id, trace);
+    EXPECT_EQ(store.stats().writes, 1u); // the writer believed it worked
+    ASSERT_TRUE(fs::exists(storePath(id)));
+    fault::disarmAll();
+
+    EXPECT_FALSE(store.load(id).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(storePath(id)));
+
+    auto shared = std::make_shared<TraceStore>(dir_);
+    SweepEngine engine(1);
+    engine.setTraceStore(shared);
+    EXPECT_EQ(traceBytes(engine.trace("gzip", 1000)), traceBytes(trace));
+    EXPECT_EQ(engine.traceGenerations(), 1u);
+    // Clean re-publication (the engine keys it under the benchmark's
+    // real defVersion, so check the file, not this test's plain id).
+    EXPECT_TRUE(fs::exists(storePath(id)));
+}
+
+TEST_F(TraceStoreTest, ShortWriteFaultReportsFailureAndSkips)
+{
+    TraceStore store(dir_);
+    const TraceId id{"gzip", 1000, std::nullopt};
+    ASSERT_TRUE(fault::armSpec("trace_store.write.short:1"));
+    store.store(id, genTrace("gzip", 1000));
+    EXPECT_EQ(store.stats().writes, 0u);
+    EXPECT_TRUE(fs::is_empty(dir_));
 }
 
 TEST_F(TraceStoreTest, Fnv1aMatchesReferenceVectors)

@@ -22,6 +22,7 @@
  *   submit  --socket PATH [--wait]    submit a sweep job to a daemon
  *   status  --socket PATH --job N     query one job's state
  *   result  --socket PATH --job N     fetch one job's artifact
+ *   cancel  --socket PATH --job N     cancel a queued or running job
  *   ping    --socket PATH        handshake check against a daemon
  *
  * Common options:
@@ -54,9 +55,20 @@
  *   --socket PATH    Unix-domain socket the daemon serves / clients use
  *   --queue-depth K  serve: max queued+running jobs before `busy` (8)
  *   --jobs N         serve: sweep-engine worker threads
+ *   --cache-dir DIR  serve: persistent result-cache directory (the
+ *                    crash-safe disk tier; warm repeats survive a
+ *                    daemon restart)
+ *   --deadline-sec N serve: default per-job wall-clock limit;
+ *                    submit: this job's limit (overrides the daemon
+ *                    default; 0 = unbounded)
  *   --wait           submit: block until the job finishes and emit the
  *                    artifact (to --out or stdout)
- *   --job N          status/result: the job id to query
+ *   --job N          status/result/cancel: the job id
+ *   --timeout SEC    client verbs: per-frame read deadline (0 = wait
+ *                    forever; for submit --wait it must exceed the
+ *                    expected job time)
+ *   --retries N      client verbs: connection retries with exponential
+ *                    backoff (daemon restarting / not up yet)
  *   submit also honors --suite/--benches/--cores/--insts/--seed and
  *   --format csv|json (default csv); the fetched artifact is
  *   byte-identical to `icfp-sim sweep` with the same options.
@@ -138,6 +150,13 @@ struct Options
     bool queueDepthSet = false;
     bool wait = false;
     std::optional<uint64_t> jobId;
+    std::optional<std::string> cacheDir;
+    uint64_t deadlineSec = 0;
+    bool deadlineSecSet = false;
+    unsigned timeoutSec = 0;
+    bool timeoutSet = false;
+    unsigned retries = 0;
+    bool retriesSet = false;
 
     // Perf options.
     bool quick = false;
@@ -156,8 +175,8 @@ usage()
     std::fprintf(stderr,
                  "usage: icfp-sim "
                  "<list|suites|cores|run|compare|suite|sweep|merge|perf|"
-                 "trace|disasm|version|serve|submit|status|result|ping> "
-                 "[options]\n"
+                 "trace|disasm|version|serve|submit|status|result|cancel|"
+                 "ping> [options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
 }
@@ -250,6 +269,27 @@ parseArgs(int argc, char **argv, Options *opt)
             opt->wait = true;
         } else if (arg == "--job") {
             opt->jobId = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--cache-dir") {
+            opt->cacheDir = next();
+            if (opt->cacheDir->empty()) {
+                // Same guard as --trace-dir: an empty dir (unset shell
+                // variable) would scatter .res files into the CWD.
+                std::fprintf(stderr,
+                             "--cache-dir requires a non-empty "
+                             "directory\n");
+                return false;
+            }
+        } else if (arg == "--deadline-sec") {
+            opt->deadlineSec = std::strtoull(next(), nullptr, 0);
+            opt->deadlineSecSet = true;
+        } else if (arg == "--timeout") {
+            opt->timeoutSec =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+            opt->timeoutSet = true;
+        } else if (arg == "--retries") {
+            opt->retries =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+            opt->retriesSet = true;
         } else if (arg == "--quick") {
             opt->quick = true;
         } else if (arg == "--reps") {
@@ -862,6 +902,8 @@ cmdServe(const Options &opt)
     sopt.jobs = opt.jobs;
     sopt.queueDepth = opt.queueDepth;
     sopt.traceDir = opt.traceDir;
+    sopt.cacheDir = opt.cacheDir;
+    sopt.deadlineSec = opt.deadlineSec;
     service::Server server(std::move(sopt));
 
     // Handlers first: a supervisor's SIGTERM racing startup must drain,
@@ -883,6 +925,16 @@ cmdServe(const Options &opt)
     server.requestDrain();
     server.join();
     return 0;
+}
+
+/** The --timeout/--retries pair every client verb passes through. */
+service::ClientOptions
+clientOptions(const Options &opt)
+{
+    service::ClientOptions copt;
+    copt.timeoutSec = opt.timeoutSec;
+    copt.retries = opt.retries;
+    return copt;
 }
 
 /** Emit a fetched artifact payload per --out (file) or to stdout. */
@@ -927,7 +979,7 @@ cmdSubmit(const Options &opt)
         std::fclose(f);
     }
     try {
-        service::ServiceClient client(opt.socket);
+        service::ServiceClient client(opt.socket, clientOptions(opt));
         service::Frame request("submit");
         if (opt.suiteSet)
             request.addString("suite", opt.suite);
@@ -937,6 +989,8 @@ cmdSubmit(const Options &opt)
         if (opt.seed)
             request.addUint("seed", *opt.seed);
         request.addString("format", format);
+        if (opt.deadlineSecSet)
+            request.addUint("deadline_sec", opt.deadlineSec);
         if (opt.wait)
             request.addUint("wait", 1);
 
@@ -988,7 +1042,7 @@ cmdStatusOrResult(const Options &opt)
         return 1;
     }
     try {
-        service::ServiceClient client(opt.socket);
+        service::ServiceClient client(opt.socket, clientOptions(opt));
         service::Frame request(opt.command); // "status" or "result"
         request.addUint("job", *opt.jobId);
         const service::Frame response = client.request(request);
@@ -1018,10 +1072,45 @@ cmdStatusOrResult(const Options &opt)
 }
 
 int
+cmdCancel(const Options &opt)
+{
+    if (!opt.jobId) {
+        std::fprintf(stderr, "cancel: requires --job N\n");
+        return 1;
+    }
+    try {
+        service::ServiceClient client(opt.socket, clientOptions(opt));
+        service::Frame request("cancel");
+        request.addUint("job", *opt.jobId);
+        const service::Frame response = client.request(request);
+        if (response.type() == "error") {
+            std::fprintf(stderr, "cancel: %s\n",
+                         response.stringField("message").c_str());
+            return 1;
+        }
+        if (response.type() != "cancelled") {
+            std::fprintf(stderr, "cancel: unexpected '%s' response\n",
+                         response.type().c_str());
+            return 1;
+        }
+        const std::string was = response.stringField("was");
+        std::printf("job %llu cancelled (%s%s)\n",
+                    (unsigned long long)response.uintField("job", 0),
+                    was.c_str(),
+                    was == "running" ? "; stops at the next row boundary"
+                                     : "");
+        return 0;
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "cancel: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
 cmdPing(const Options &opt)
 {
     try {
-        service::ServiceClient client(opt.socket);
+        service::ServiceClient client(opt.socket, clientOptions(opt));
         const service::Frame pong = client.request(service::Frame("ping"));
         if (pong.type() != "pong") {
             std::fprintf(stderr, "ping: unexpected '%s' response\n",
@@ -1110,7 +1199,8 @@ main(int argc, char **argv)
     const bool service_command =
         opt.command == "serve" || opt.command == "submit" ||
         opt.command == "status" || opt.command == "result" ||
-        opt.command == "ping";
+        opt.command == "cancel" || opt.command == "ping";
+    const bool client_command = service_command && opt.command != "serve";
     if (service_command && opt.socket.empty()) {
         std::fprintf(stderr, "%s: requires --socket PATH\n",
                      opt.command.c_str());
@@ -1119,20 +1209,42 @@ main(int argc, char **argv)
     if (!opt.socket.empty() && !service_command) {
         std::fprintf(stderr,
                      "--socket only applies to the service commands "
-                     "(serve, submit, status, result, ping)\n");
+                     "(serve, submit, status, result, cancel, ping)\n");
         return 1;
     }
     if (opt.wait && opt.command != "submit") {
         std::fprintf(stderr, "--wait only applies to 'submit'\n");
         return 1;
     }
-    if (opt.jobId && opt.command != "status" && opt.command != "result") {
+    if (opt.jobId && opt.command != "status" && opt.command != "result" &&
+        opt.command != "cancel") {
         std::fprintf(stderr,
-                     "--job only applies to 'status' and 'result'\n");
+                     "--job only applies to 'status', 'result', and "
+                     "'cancel'\n");
         return 1;
     }
     if (opt.queueDepthSet && opt.command != "serve") {
         std::fprintf(stderr, "--queue-depth only applies to 'serve'\n");
+        return 1;
+    }
+    if (opt.cacheDir && opt.command != "serve") {
+        std::fprintf(stderr, "--cache-dir only applies to 'serve'\n");
+        return 1;
+    }
+    if (opt.deadlineSecSet && opt.command != "serve" &&
+        opt.command != "submit") {
+        std::fprintf(stderr,
+                     "--deadline-sec only applies to 'serve' (daemon "
+                     "default) and 'submit' (per job)\n");
+        return 1;
+    }
+    if ((opt.timeoutSet || opt.retriesSet) && !client_command) {
+        // A daemon has no read deadline by design (idle sessions are
+        // free and end at drain); accepting these on serve or a local
+        // command would look like they did something.
+        std::fprintf(stderr,
+                     "--timeout/--retries only apply to the client "
+                     "verbs (submit, status, result, cancel, ping)\n");
         return 1;
     }
     if (service_command && opt.command != "submit" &&
@@ -1154,7 +1266,7 @@ main(int argc, char **argv)
     }
     if (opt.out &&
         (opt.command == "serve" || opt.command == "ping" ||
-         opt.command == "status")) {
+         opt.command == "status" || opt.command == "cancel")) {
         std::fprintf(stderr,
                      "--out only applies to 'submit' and 'result' among "
                      "the service commands\n");
@@ -1219,6 +1331,8 @@ main(int argc, char **argv)
         return cmdSubmit(opt);
     if (opt.command == "status" || opt.command == "result")
         return cmdStatusOrResult(opt);
+    if (opt.command == "cancel")
+        return cmdCancel(opt);
     if (opt.command == "ping")
         return cmdPing(opt);
     usage();
