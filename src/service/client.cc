@@ -8,8 +8,9 @@
 #include <thread>
 
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
+
+#include "service/federation/transport.hh"
 
 namespace icfp {
 namespace service {
@@ -48,25 +49,9 @@ ServiceClient::ServiceClient(const std::string &socket_path,
 void
 ServiceClient::connectOnce(const std::string &socket_path)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
-        throw ProtocolError("socket path '" + socket_path +
-                            "' is empty or too long");
-    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        throw ProtocolError(std::string("socket() failed: ") +
-                            std::strerror(errno));
-    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        const std::string why = std::strerror(errno);
-        ::close(fd_);
-        fd_ = -1;
-        throw ConnectError("cannot connect to " + socket_path + ": " +
-                           why + " (is the daemon running?)");
-    }
+    // The spec names either transport (federation/transport.hh): a Unix
+    // path or a TCP host:port — the frame protocol is identical on both.
+    fd_ = connectSpec(socket_path);
 
     try {
         hello_ = readFrame();

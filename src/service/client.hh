@@ -1,9 +1,11 @@
 /**
  * @file
- * Client side of the simulation service: connect to a daemon's socket,
- * verify the versioned handshake, and exchange frames. Wraps the
- * blocking socket plumbing so the CLI verbs (`icfp-sim submit / status
- * / result / ping / cancel`) and the tests are one-liners over frames.
+ * Client side of the simulation service: connect to a daemon's endpoint
+ * (a Unix socket path or a TCP host:port — see federation/transport.hh
+ * for the spec grammar), verify the versioned handshake, and exchange
+ * frames. Wraps the blocking socket plumbing so the CLI verbs
+ * (`icfp-sim submit / status / result / ping / cancel`), the federation
+ * peer pool, and the tests are one-liners over frames.
  *
  * @code
  *   ServiceClient client("/run/icfp.sock");   // connects + checks hello
@@ -36,19 +38,11 @@
 
 #include <string>
 
+#include "service/federation/transport.hh" // ConnectError, endpoint specs
 #include "service/protocol.hh"
 
 namespace icfp {
 namespace service {
-
-/** Connection-level failure: refused, socket missing, or the daemon
- *  hung up before completing the handshake. The retryable subset of
- *  ProtocolError — a daemon mid-restart shows exactly these. */
-class ConnectError : public ProtocolError
-{
-  public:
-    using ProtocolError::ProtocolError;
-};
 
 struct ClientOptions
 {

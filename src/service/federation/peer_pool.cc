@@ -1,0 +1,348 @@
+#include "service/federation/peer_pool.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace icfp {
+namespace service {
+
+const char *
+peerStateName(PeerState state)
+{
+    switch (state) {
+      case PeerState::Connecting: return "connecting";
+      case PeerState::Healthy: return "healthy";
+      case PeerState::Rejected: return "rejected";
+      case PeerState::Dead: return "dead";
+    }
+    return "?";
+}
+
+PeerPool::PeerPool(std::vector<std::string> specs, std::string local_fp)
+    : localFp_(std::move(local_fp))
+{
+    peers_.resize(specs.size());
+    pollClients_.resize(specs.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        peers_[i].spec = std::move(specs[i]);
+        peers_[i].nextProbe = now; // first probe immediately
+    }
+}
+
+PeerPool::~PeerPool()
+{
+    stop();
+}
+
+void
+PeerPool::start()
+{
+    if (pollThread_.joinable() || peers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stop_ = false;
+    }
+    pollThread_ = std::thread(&PeerPool::pollLoop, this);
+}
+
+void
+PeerPool::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stop_ = true;
+    }
+    stopCv_.notify_all();
+    if (pollThread_.joinable())
+        pollThread_.join();
+    // Poll thread is gone: safe to drop its connections and the idle
+    // dispatch connections from this thread.
+    for (auto &client : pollClients_)
+        client.reset();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Peer &peer : peers_)
+        peer.idle.clear();
+}
+
+const std::string &
+PeerPool::spec(size_t index) const
+{
+    return peers_.at(index).spec;
+}
+
+std::vector<PeerStatus>
+PeerPool::statuses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PeerStatus> out;
+    out.reserve(peers_.size());
+    for (const Peer &peer : peers_) {
+        PeerStatus s;
+        s.spec = peer.spec;
+        s.state = peer.state;
+        s.fp = peer.fp;
+        s.error = peer.error;
+        s.rttMicros = peer.rttMicros;
+        s.active = peer.active;
+        s.queueDepth = peer.queueDepth;
+        s.inflight = peer.inflight;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<size_t>
+PeerPool::healthyPeers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<size_t> out;
+    for (size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i].state == PeerState::Healthy)
+            out.push_back(i);
+    }
+    return out;
+}
+
+bool
+PeerPool::waitHealthy(size_t min_healthy, std::chrono::milliseconds timeout)
+{
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mutex_);
+    return healthyCv_.wait_until(lock, deadline, [&] {
+        size_t healthy = 0;
+        for (const Peer &peer : peers_)
+            healthy += peer.state == PeerState::Healthy ? 1 : 0;
+        return healthy >= min_healthy;
+    });
+}
+
+std::optional<size_t>
+PeerPool::pickPeer(const std::vector<bool> &exclude)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<size_t> best;
+    for (size_t i = 0; i < peers_.size(); ++i) {
+        if (i < exclude.size() && exclude[i])
+            continue;
+        if (peers_[i].state != PeerState::Healthy)
+            continue;
+        if (!best || peers_[i].inflight < peers_[*best].inflight)
+            best = i;
+    }
+    if (best)
+        ++peers_[*best].inflight; // reserved until release()
+    return best;
+}
+
+std::string
+PeerPool::helloFpOf(const ServiceClient &client) const
+{
+    const std::string fp = client.hello().stringField("fp");
+    return fp == localFp_ ? std::string() : fp;
+}
+
+void
+PeerPool::markRejectedLocked(Peer &peer, const std::string &seen_fp)
+{
+    peer.state = PeerState::Rejected;
+    peer.fp = seen_fp;
+    peer.error = "registry fingerprint mismatch: peer has " + seen_fp +
+                 ", this daemon has " + localFp_;
+    std::fprintf(stderr,
+                 "icfp-sim serve: REFUSING peer %s: %s (its rows would "
+                 "merge into a silently mixed report)\n",
+                 peer.spec.c_str(), peer.error.c_str());
+}
+
+std::unique_ptr<ServiceClient>
+PeerPool::acquire(size_t index)
+{
+    Peer &peer = peers_.at(index);
+
+    // Reuse an idle connection only after it proves itself with a ping:
+    // a cached fd from a peer that restarted since looks connected but
+    // EOFs (or answers a fresh hello) on first use.
+    while (true) {
+        std::unique_ptr<ServiceClient> cached;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (peer.idle.empty())
+                break;
+            cached = std::move(peer.idle.back());
+            peer.idle.pop_back();
+        }
+        try {
+            const Frame pong = cached->request(Frame("ping"));
+            if (pong.type() == "pong")
+                return cached;
+        } catch (const std::exception &) {
+            // Stale; fall through to try the next cached one.
+        }
+    }
+
+    ClientOptions opts;
+    opts.timeoutSec = kIoTimeoutSec;
+    std::unique_ptr<ServiceClient> client;
+    try {
+        client = std::make_unique<ServiceClient>(peer.spec, opts);
+    } catch (const std::exception &e) {
+        noteFailure(index, e.what());
+        throw;
+    }
+    const std::string mismatch = helloFpOf(*client);
+    if (!mismatch.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            markRejectedLocked(peer, mismatch);
+        }
+        throw ProtocolError("peer " + peer.spec +
+                            " refused: registry fingerprint mismatch "
+                            "(peer " + mismatch + ", local " + localFp_ +
+                            ")");
+    }
+    return client;
+}
+
+void
+PeerPool::release(size_t index, std::unique_ptr<ServiceClient> client,
+                  bool reusable)
+{
+    Peer &peer = peers_.at(index);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (peer.inflight > 0)
+        --peer.inflight;
+    if (reusable && client && peer.idle.size() < kMaxIdlePerPeer)
+        peer.idle.push_back(std::move(client));
+}
+
+void
+PeerPool::noteFailure(size_t index, const std::string &why)
+{
+    Peer &peer = peers_.at(index);
+    std::vector<std::unique_ptr<ServiceClient>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (peer.state != PeerState::Rejected) {
+            peer.state = PeerState::Dead;
+            peer.error = why;
+        }
+        doomed.swap(peer.idle); // close outside the lock
+    }
+    std::fprintf(stderr, "icfp-sim serve: peer %s failed: %s\n",
+                 peer.spec.c_str(), why.c_str());
+}
+
+void
+PeerPool::pollLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(stopMutex_);
+            stopCv_.wait_for(lock, std::chrono::milliseconds(100),
+                             [&] { return stop_; });
+            if (stop_)
+                return;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < peers_.size(); ++i) {
+            bool due;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                due = now >= peers_[i].nextProbe;
+            }
+            if (due)
+                probePeer(i);
+        }
+    }
+}
+
+void
+PeerPool::probePeer(size_t index)
+{
+    Peer &peer = peers_[index];
+
+    if (!pollClients_[index]) {
+        ClientOptions opts;
+        opts.timeoutSec = kIoTimeoutSec;
+        try {
+            auto client =
+                std::make_unique<ServiceClient>(peer.spec, opts);
+            const std::string mismatch = helloFpOf(*client);
+            if (!mismatch.empty()) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (peer.state != PeerState::Rejected)
+                    markRejectedLocked(peer, mismatch);
+                peer.backoff =
+                    std::chrono::milliseconds(kBackoffCeilMs);
+                peer.nextProbe =
+                    std::chrono::steady_clock::now() + peer.backoff;
+                return; // client dropped: never dispatch to it
+            }
+            pollClients_[index] = std::move(client);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (peer.state != PeerState::Rejected) {
+                peer.state = peer.state == PeerState::Connecting
+                                 ? PeerState::Connecting
+                                 : PeerState::Dead;
+                peer.error = e.what();
+            }
+            peer.nextProbe =
+                std::chrono::steady_clock::now() + peer.backoff;
+            peer.backoff = std::min(
+                peer.backoff * 2,
+                std::chrono::milliseconds(kBackoffCeilMs));
+            return;
+        }
+    }
+
+    try {
+        const auto t0 = std::chrono::steady_clock::now();
+        const Frame status = pollClients_[index]->request(Frame("status"));
+        const auto t1 = std::chrono::steady_clock::now();
+        if (status.type() != "status") {
+            throw ProtocolError("health poll answered '" + status.type() +
+                                "', expected a status frame");
+        }
+        const uint64_t rtt =
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            peer.state = PeerState::Healthy;
+            peer.fp = localFp_; // gated at connect: equal by construction
+            peer.error.clear();
+            peer.rttMicros = rtt;
+            peer.active = status.uintField("active", 0);
+            peer.queueDepth = status.uintField("queue_depth", 0);
+            peer.backoff = std::chrono::milliseconds(kBackoffFloorMs);
+            peer.nextProbe =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(kHealthyPollMs);
+        }
+        healthyCv_.notify_all();
+    } catch (const std::exception &e) {
+        pollClients_[index].reset();
+        std::vector<std::unique_ptr<ServiceClient>> doomed;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (peer.state == PeerState::Healthy) {
+            std::fprintf(stderr,
+                         "icfp-sim serve: peer %s went dead: %s\n",
+                         peer.spec.c_str(), e.what());
+        }
+        if (peer.state != PeerState::Rejected) {
+            peer.state = PeerState::Dead;
+            peer.error = e.what();
+        }
+        doomed.swap(peer.idle);
+        peer.nextProbe = std::chrono::steady_clock::now() + peer.backoff;
+        peer.backoff =
+            std::min(peer.backoff * 2,
+                     std::chrono::milliseconds(kBackoffCeilMs));
+    }
+}
+
+} // namespace service
+} // namespace icfp

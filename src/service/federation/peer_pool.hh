@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The coordinator's view of its peer daemons: one PeerPool tracks every
+ * `--peers` endpoint, polls each for health in the background, gates
+ * every connection on the registry-fingerprint handshake, and hands the
+ * coordinator validated, reusable dispatch connections.
+ *
+ * Health model (one background poll thread, ~1s cadence):
+ *
+ *   Connecting ──connect+hello ok──► Healthy ◄──poll ok──┐
+ *       │                              │  └──────────────┘
+ *       │                              └─poll fails─► Dead ──backoff──┐
+ *       │                                                (500ms..8s)  │
+ *       └─fp mismatch─► Rejected ◄────────────────────────────────────┘
+ *
+ * A peer whose hello carries a different registry fingerprint was built
+ * from different simulator semantics or workload definitions; its rows
+ * would merge into a silently mixed report, so it is Rejected with a
+ * loud stderr error and never dispatched to. It keeps being probed at
+ * the maximum backoff — replacing the binary behind the endpoint heals
+ * it — but rejection is never downgraded to a warning.
+ *
+ * Health polls are no-job `status` frames: the answer carries the
+ * peer's queue depth and active-job count (capacity, surfaced through
+ * the coordinator's own `status` frame) and its round-trip time. A Dead
+ * peer reconnects with exponential backoff so a flapping peer cannot
+ * turn the poll loop into a connect storm.
+ *
+ * Dispatch connections are separate from the poll connection and are
+ * checked out per slice (acquire/release). Released connections are
+ * kept idle for reuse and ping-validated on the next acquire — a stale
+ * fd from a restarted peer fails the ping and is re-dialed, never used
+ * blind.
+ */
+
+#ifndef ICFP_SERVICE_FEDERATION_PEER_POOL_HH
+#define ICFP_SERVICE_FEDERATION_PEER_POOL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hh"
+
+namespace icfp {
+namespace service {
+
+enum class PeerState { Connecting, Healthy, Rejected, Dead };
+
+const char *peerStateName(PeerState state);
+
+/** One peer's externally visible health snapshot. */
+struct PeerStatus
+{
+    std::string spec;    ///< endpoint as given to --peers
+    PeerState state = PeerState::Connecting;
+    std::string fp;      ///< last registry fingerprint seen (hex)
+    std::string error;   ///< last failure; "" while healthy
+    uint64_t rttMicros = 0;  ///< last health-poll round trip
+    uint64_t active = 0;     ///< peer-reported queued+running jobs
+    uint64_t queueDepth = 0; ///< peer-reported queue bound
+    unsigned inflight = 0;   ///< slices this coordinator has dispatched
+};
+
+class PeerPool
+{
+  public:
+    /**
+     * @param specs    one endpoint per peer (Unix path or host:port)
+     * @param local_fp fingerprintHex(registryFingerprint()) of THIS
+     *        binary — the identity every peer must match
+     */
+    PeerPool(std::vector<std::string> specs, std::string local_fp);
+
+    /** Stops the poll thread if still running. */
+    ~PeerPool();
+
+    PeerPool(const PeerPool &) = delete;
+    PeerPool &operator=(const PeerPool &) = delete;
+
+    /** Start the background health-poll thread (first poll immediate). */
+    void start();
+
+    /** Stop and join the poll thread; drops every cached connection. */
+    void stop();
+
+    size_t size() const { return peers_.size(); }
+    const std::string &spec(size_t index) const;
+
+    /** Snapshot of every peer (for the daemon-status frame). */
+    std::vector<PeerStatus> statuses() const;
+
+    /** Indices of peers currently Healthy. */
+    std::vector<size_t> healthyPeers() const;
+
+    /**
+     * Block until at least @p min_healthy peers are Healthy or
+     * @p timeout elapses; returns whether the threshold was met.
+     * (Tests and the serve banner use this; dispatch never blocks —
+     * it degrades instead.)
+     */
+    bool waitHealthy(size_t min_healthy, std::chrono::milliseconds timeout);
+
+    /**
+     * RESERVE the Healthy peer with the fewest inflight slices,
+     * skipping indices with @p exclude[i] set; nullopt when none
+     * qualifies. A returned index has its inflight count already
+     * incremented — concurrent collectors therefore spread across the
+     * fleet instead of racing onto the same least-loaded peer — and the
+     * caller MUST balance it with exactly one release().
+     */
+    std::optional<size_t> pickPeer(const std::vector<bool> &exclude);
+
+    /**
+     * A connected, fingerprint-verified dispatch client for peer
+     * @p index (already reserved via pickPeer). Reuses an idle cached
+     * connection only after it answers a ping; dials fresh otherwise.
+     * @throws ConnectError / ProtocolError if the peer cannot be
+     *         reached or fails the fingerprint gate (the peer is marked
+     *         Dead / Rejected as appropriate)
+     */
+    std::unique_ptr<ServiceClient> acquire(size_t index);
+
+    /**
+     * Release a pickPeer reservation, decrementing the peer's inflight
+     * count. @p client may be null (the reservation failed before a
+     * connection existed). @p reusable: the session ended at a clean
+     * frame boundary and may be cached for the next acquire; pass false
+     * after any error.
+     */
+    void release(size_t index, std::unique_ptr<ServiceClient> client,
+                 bool reusable);
+
+    /** Record a dispatch-side failure: the peer goes Dead (unless
+     *  Rejected), its idle connections are dropped, and the poll loop
+     *  re-probes it on the normal backoff schedule. */
+    void noteFailure(size_t index, const std::string &why);
+
+  private:
+    struct Peer
+    {
+        std::string spec;
+        PeerState state = PeerState::Connecting;
+        std::string fp;
+        std::string error;
+        uint64_t rttMicros = 0;
+        uint64_t active = 0;
+        uint64_t queueDepth = 0;
+        unsigned inflight = 0;
+        /** Idle dispatch connections awaiting reuse (bounded). */
+        std::vector<std::unique_ptr<ServiceClient>> idle;
+        /** Reconnect backoff (poll thread only). */
+        std::chrono::milliseconds backoff{kBackoffFloorMs};
+        std::chrono::steady_clock::time_point nextProbe{};
+    };
+
+    static constexpr long long kBackoffFloorMs = 500;
+    static constexpr long long kBackoffCeilMs = 8000;
+    static constexpr long long kHealthyPollMs = 1000;
+    /** Idle dispatch connections kept per peer. */
+    static constexpr size_t kMaxIdlePerPeer = 2;
+    /** Read deadline (seconds) on poll and dispatch connections: the
+     *  coordinator's collect loop uses the expiry as its poll tick. */
+    static constexpr unsigned kIoTimeoutSec = 1;
+
+    void pollLoop();
+    /** One probe of peer @p index (poll thread only; takes the mutex
+     *  only around metadata updates, never around I/O). */
+    void probePeer(size_t index);
+    /** Fingerprint gate for a fresh connection's hello (mutex held by
+     *  caller when updating state). @return "" if it matches. */
+    std::string helloFpOf(const ServiceClient &client) const;
+    void markRejectedLocked(Peer &peer, const std::string &seen_fp);
+
+    const std::string localFp_;
+    mutable std::mutex mutex_;            ///< peers_ metadata + idle lists
+    std::condition_variable healthyCv_;   ///< waitHealthy wakeups
+    std::vector<Peer> peers_;
+    /** Poll connections, owned exclusively by the poll thread. */
+    std::vector<std::unique_ptr<ServiceClient>> pollClients_;
+
+    std::thread pollThread_;
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stop_ = false;
+};
+
+} // namespace service
+} // namespace icfp
+
+#endif // ICFP_SERVICE_FEDERATION_PEER_POOL_HH

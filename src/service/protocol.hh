@@ -38,6 +38,21 @@
  * Both are additive — an old client simply never sends them — so the
  * protocol version stays 1.
  *
+ * Federation rides on the same vocabulary, still v1-additive:
+ *
+ *  - `submit` may carry shard ("i/N", 1-based): the daemon runs only
+ *    that round-robin slice of the grid and answers a shard-framed
+ *    artifact (sim/merge.hh) instead of the plain report; `submitted`
+ *    echoes shard and adds grid_rows (the full grid's row count).
+ *    Malformed shard values are rejected with an error frame.
+ *  - `status` WITHOUT a job id answers for the daemon itself: proto,
+ *    fp, queue_depth, active, queued, draining, completed, failed,
+ *    running_job (present only while a job runs) — and, on a
+ *    federation coordinator, peers plus flat per-peer health groups
+ *    (peer<i>, peer<i>_state, peer<i>_fp, peer<i>_rtt_us,
+ *    peer<i>_inflight, peer<i>_active, peer<i>_depth, peer<i>_error).
+ *    This frame doubles as the coordinator's peer health poll.
+ *
  * `submit` carries a sweep request (suite, benches, cores, insts, seed,
  * format) and an optional wait flag; the server answers `submitted`
  * (job id + grid fingerprint) or `busy` (bounded-queue backpressure —

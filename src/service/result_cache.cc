@@ -64,15 +64,18 @@ removeQuietly(const fs::path &path)
 uint64_t
 resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
                std::optional<uint64_t> seed, const std::string &suite,
-               const std::string &format, uint64_t registry_fp)
+               const std::string &format, uint64_t registry_fp,
+               const std::string &shard_identity)
 {
     // gridFingerprint already covers benches, variant labels, cores,
     // insts, seed, sim-semantics + trace-gen versions, and the report
     // schema; the extra identity adds what a *service* request also
-    // varies on (suite namespace, output format) and the registry
-    // fingerprint (per-bench defVersions and registry contents).
-    const std::string extra = "suite=" + suite + " format=" + format +
-                              " rfp=" + fingerprintHex(registry_fp);
+    // varies on (suite namespace, output format, shard slice) and the
+    // registry fingerprint (per-bench defVersions, registry contents).
+    std::string extra = "suite=" + suite + " format=" + format +
+                        " rfp=" + fingerprintHex(registry_fp);
+    if (!shard_identity.empty())
+        extra += " " + shard_identity;
     return gridFingerprint(grid, insts, seed, extra);
 }
 

@@ -54,12 +54,18 @@ namespace service {
  * The full identity of one rendered sweep artifact. @p registry_fp is a
  * parameter (rather than read from the live registries) so tests can
  * prove that a bumped defVersion or sim version moves the key; callers
- * pass registryFingerprint().
+ * pass registryFingerprint(). @p shard_identity distinguishes a shard
+ * artifact (a federation slice: "#shard"-framed bytes of a grid slice)
+ * from the full-grid artifact of the same jobs — pass e.g. "shard=1/3"
+ * for slice requests, "" for whole-grid ones. Without it, a shard 1/2
+ * submit of {a,b} and a full submit of {a} would expand to the same
+ * job list and collide on differently-framed bytes.
  */
 uint64_t resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
                         std::optional<uint64_t> seed,
                         const std::string &suite, const std::string &format,
-                        uint64_t registry_fp);
+                        uint64_t registry_fp,
+                        const std::string &shard_identity = std::string());
 
 /**
  * A byte-capped LRU map (result fingerprint → rendered artifact) with

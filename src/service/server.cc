@@ -6,12 +6,11 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/stat.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "sim/merge.hh"
 #include "sim/report.hh"
 #include "sim/trace_store.hh"
 #include "sim/version_info.hh"
@@ -19,6 +18,31 @@
 
 namespace icfp {
 namespace service {
+
+namespace {
+
+/** Inverse of splitCommaList for the normalized request fields a
+ *  coordinator forwards to peers. */
+std::string
+joinComma(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items) {
+        if (!out.empty())
+            out += ',';
+        out += item;
+    }
+    return out;
+}
+
+std::string
+shardText(const ShardSpec &shard)
+{
+    return std::to_string(shard.index + 1) + "/" +
+           std::to_string(shard.count);
+}
+
+} // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), engine_(options_.jobs),
@@ -38,72 +62,30 @@ Server::~Server()
     if (acceptThread_.joinable() || dispatchThread_.joinable()) {
         requestDrain();
         join();
-    } else if (listenFd_ >= 0) {
-        ::close(listenFd_);
+    } else if (pool_) {
+        pool_->stop();
     }
 }
 
 void
 Server::start()
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.socketPath.empty() ||
-        options_.socketPath.size() >= sizeof(addr.sun_path)) {
-        throw std::runtime_error("socket path '" + options_.socketPath +
-                                 "' is empty or too long");
-    }
-    std::memcpy(addr.sun_path, options_.socketPath.c_str(),
-                options_.socketPath.size() + 1);
+    // The Unix listener carries the daemon's safety guards (refuse a
+    // non-socket file, refuse a live daemon, reclaim a stale socket);
+    // the optional TCP listener is what lets this daemon be a
+    // federation peer for coordinators on other hosts.
+    unixListener_ = Listener::listenUnix(options_.socketPath);
+    if (!options_.listenTcp.empty())
+        tcpListener_ = Listener::listenTcp(options_.listenTcp);
 
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        throw std::runtime_error(std::string("socket() failed: ") +
-                                 std::strerror(errno));
-    }
-    // A stale socket file from a dead daemon would make bind() fail —
-    // but only ever remove an actual socket (a typo'd --socket naming a
-    // regular file must not delete it), and only after proving no live
-    // daemon still answers on it, or a second `serve` on the same path
-    // would silently steal the first one's clients (and its shutdown
-    // would delete the live daemon's socket file).
-    struct stat existing{};
-    const bool stale = ::lstat(options_.socketPath.c_str(), &existing) == 0;
-    if (stale && !S_ISSOCK(existing.st_mode)) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-        throw std::runtime_error(options_.socketPath +
-                                 " exists and is not a socket");
-    }
-    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (probe >= 0) {
-        const bool live =
-            ::connect(probe, reinterpret_cast<const sockaddr *>(&addr),
-                      sizeof addr) == 0;
-        ::close(probe);
-        if (live) {
-            ::close(listenFd_);
-            listenFd_ = -1;
-            throw std::runtime_error("a daemon is already serving " +
-                                     options_.socketPath);
-        }
-    }
-    if (stale) {
-        // A socket file nobody answers on: the previous daemon died
-        // without its drain epilogue (SIGKILL, OOM, power loss).
-        std::fprintf(stderr,
-                     "icfp-sim serve: reclaimed stale socket %s\n",
-                     options_.socketPath.c_str());
-    }
-    ::unlink(options_.socketPath.c_str());
-    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(listenFd_, 64) != 0) {
-        const std::string why = std::strerror(errno);
-        ::close(listenFd_);
-        listenFd_ = -1;
-        throw std::runtime_error("cannot listen on " + options_.socketPath +
-                                 ": " + why);
+    if (!options_.peers.empty()) {
+        pool_ = std::make_unique<PeerPool>(
+            options_.peers, fingerprintHex(registryFingerprint()));
+        CoordinatorOptions copts;
+        copts.sliceDeadlineSec = options_.sliceDeadlineSec;
+        coordinator_ =
+            std::make_unique<Coordinator>(*pool_, engine_, copts);
+        pool_->start();
     }
 
     std::fprintf(stderr,
@@ -112,6 +94,16 @@ Server::start()
                  options_.socketPath.c_str(), engine_.jobs(),
                  options_.queueDepth,
                  fingerprintHex(registryFingerprint()).c_str());
+    if (tcpListener_.valid()) {
+        std::fprintf(stderr, "icfp-sim serve: listening on tcp %s\n",
+                     tcpListener_.boundSpec().c_str());
+    }
+    if (pool_) {
+        std::fprintf(stderr,
+                     "icfp-sim serve: federation coordinator over %zu "
+                     "peer(s)\n",
+                     pool_->size());
+    }
     acceptThread_ = std::thread(&Server::acceptLoop, this);
     dispatchThread_ = std::thread(&Server::dispatchLoop, this);
     watchdogThread_ = std::thread(&Server::watchdogLoop, this);
@@ -139,6 +131,11 @@ Server::join()
     watchdogStop_.store(true);
     if (watchdogThread_.joinable())
         watchdogThread_.join();
+    // The pool outlives the dispatcher (federated jobs executing during
+    // the drain still dispatch and collect slices); with the dispatcher
+    // gone, nothing uses it anymore.
+    if (pool_)
+        pool_->stop();
 
     // Every job is now Done/Failed and every waiting submitter has been
     // notified; unblock handler threads parked in read() so they see
@@ -203,25 +200,33 @@ Server::acceptLoop()
 {
     while (!draining_.load()) {
         reapFinishedConnections();
-        pollfd pfd{listenFd_, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, 100);
+        pollfd pfds[2];
+        nfds_t nfds = 0;
+        pfds[nfds++] = {unixListener_.fd(), POLLIN, 0};
+        if (tcpListener_.valid())
+            pfds[nfds++] = {tcpListener_.fd(), POLLIN, 0};
+        const int ready = ::poll(pfds, nfds, 100);
         if (ready <= 0)
             continue; // timeout or EINTR: recheck the drain flag
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        // Bound sends so a client that stops reading its (possibly
-        // multi-megabyte) result cannot park a handler thread forever —
-        // with the write stuck past the timeout, writeFrame fails and
-        // the session ends, which is also what lets drain terminate.
-        const timeval send_timeout{30, 0};
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                     sizeof send_timeout);
-        // Connection-count backpressure, mirroring the queue's `busy`
-        // discipline: past the cap, refuse explicitly instead of
-        // spawning an unbounded number of handler threads.
-        constexpr size_t kMaxConnections = 256;
-        {
+        for (nfds_t i = 0; i < nfds; ++i) {
+            if (!(pfds[i].revents & POLLIN))
+                continue;
+            const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            // Bound sends so a client that stops reading its (possibly
+            // multi-megabyte) result cannot park a handler thread
+            // forever — with the write stuck past the timeout,
+            // writeFrame fails and the session ends, which is also what
+            // lets drain terminate.
+            const timeval send_timeout{30, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                         sizeof send_timeout);
+            // Connection-count backpressure, mirroring the queue's
+            // `busy` discipline: past the cap, refuse explicitly
+            // instead of spawning an unbounded number of handler
+            // threads.
+            constexpr size_t kMaxConnections = 256;
             std::lock_guard<std::mutex> lock(connMutex_);
             if (connFds_.size() >= kMaxConnections) {
                 try {
@@ -231,16 +236,16 @@ Server::acceptLoop()
                 ::close(fd);
                 continue;
             }
+            const uint64_t conn_id = nextConnId_++;
+            connFds_.push_back(fd);
+            connThreads_.emplace(
+                conn_id,
+                std::thread(&Server::handleConnection, this, fd,
+                            conn_id));
         }
-        std::lock_guard<std::mutex> lock(connMutex_);
-        const uint64_t conn_id = nextConnId_++;
-        connFds_.push_back(fd);
-        connThreads_.emplace(
-            conn_id,
-            std::thread(&Server::handleConnection, this, fd, conn_id));
     }
-    ::close(listenFd_);
-    listenFd_ = -1;
+    unixListener_.close();
+    tcpListener_.close();
 }
 
 void
@@ -343,16 +348,48 @@ Server::executeJob(const std::shared_ptr<Job> &job)
     bool was_cancelled = false;
     std::string artifact;
     std::string error;
+    FederatedOutcome fed;
+    bool federated = false;
     if (std::optional<std::string> hit = cache_.lookup(job->fingerprint)) {
         artifact = std::move(*hit);
         cached = true;
     } else {
         try {
-            const std::vector<SweepResult> results =
-                engine_.run(job->grid, job->insts, job->seed,
-                            &job->cancelRequested);
-            artifact = job->format == "json" ? sweepJson(results)
-                                             : sweepCsv(results);
+            if (job->shard) {
+                // A dispatched slice: this daemon is the peer. Run the
+                // slice locally and frame it as a shard artifact the
+                // coordinator's merge re-interleaves.
+                const std::vector<SweepResult> results =
+                    engine_.run(job->grid, job->insts, job->seed,
+                                &job->cancelRequested);
+                artifact =
+                    job->format == "json"
+                        ? shardJson(results, *job->shard, job->gridRows,
+                                    job->gridFp)
+                        : shardCsv(results, *job->shard, job->gridRows,
+                                   job->gridFp);
+            } else if (coordinator_) {
+                // A whole-grid submit on a coordinator: slice it across
+                // the healthy peers and merge the answers.
+                FederatedRequest freq;
+                freq.suite = job->suite;
+                freq.format = job->format;
+                freq.benches = job->benches;
+                freq.cores = job->cores;
+                freq.insts = job->insts;
+                freq.seed = job->seed;
+                freq.grid = job->grid;
+                freq.gridFp = job->gridFp;
+                fed = coordinator_->run(freq, &job->cancelRequested);
+                artifact = std::move(fed.artifact);
+                federated = true;
+            } else {
+                const std::vector<SweepResult> results =
+                    engine_.run(job->grid, job->insts, job->seed,
+                                &job->cancelRequested);
+                artifact = job->format == "json" ? sweepJson(results)
+                                                 : sweepCsv(results);
+            }
             cache_.insert(job->fingerprint, artifact);
         } catch (const SweepCancelled &) {
             was_cancelled = true;
@@ -405,15 +442,29 @@ Server::executeJob(const std::shared_ptr<Job> &job)
                      (unsigned long long)job->id,
                      fingerprintHex(job->fingerprint).c_str());
     } else if (error.empty()) {
+        // Federated jobs extend the ledger with the partial-failure
+        // counters ("… federation peers=3 dispatched=3 redispatched=1
+        // local=0"): CI greps redispatched= to prove a peer death was
+        // recovered from while the artifact stayed byte-identical.
+        char fed_suffix[128] = "";
+        if (federated) {
+            std::snprintf(fed_suffix, sizeof fed_suffix,
+                          " federation peers=%u dispatched=%u "
+                          "redispatched=%u local=%u%s",
+                          fed.peers, fed.dispatched, fed.redispatched,
+                          fed.localSlices,
+                          fed.degradedLocal ? " degraded" : "");
+        }
         std::fprintf(stderr,
                      "icfp-sim serve: job %llu fp=%s cache=%s "
-                     "generations=%llu replays=%llu rows=%zu bytes=%zu\n",
+                     "generations=%llu replays=%llu rows=%zu bytes=%zu"
+                     "%s\n",
                      (unsigned long long)job->id,
                      fingerprintHex(job->fingerprint).c_str(),
                      cached ? "hit" : "miss",
                      (unsigned long long)generations,
                      (unsigned long long)replays, job->grid.size(),
-                     job->artifact.size());
+                     job->artifact.size(), fed_suffix);
     } else {
         std::fprintf(stderr, "icfp-sim serve: job %llu fp=%s FAILED: %s\n",
                      (unsigned long long)job->id,
@@ -455,6 +506,51 @@ Server::jobResultFrame(const Job &job) const
     frame.addUint("job", job.id);
     frame.addUint("cached", job.cached ? 1 : 0);
     frame.addString("payload", job.artifact);
+    return frame;
+}
+
+Frame
+Server::daemonStatusFrame()
+{
+    Frame frame("status");
+    frame.addUint("proto", kProtocolVersion);
+    frame.addString("fp", fingerprintHex(registryFingerprint()));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        frame.addUint("queue_depth", options_.queueDepth);
+        frame.addUint("active", activeJobs_);
+        frame.addUint("queued", queue_.size());
+        frame.addUint("draining", draining_.load() ? 1 : 0);
+        frame.addUint("completed", stats_.completed);
+        frame.addUint("failed", stats_.failed);
+        // At most one job runs at a time (serial dispatcher); name it
+        // when present. Additive field — absent on an idle daemon.
+        for (const auto &[id, job] : jobs_) {
+            if (job->state == JobState::Running) {
+                frame.addUint("running_job", id);
+                break;
+            }
+        }
+    }
+    if (pool_) {
+        // Flat per-peer field groups (the protocol has no nesting):
+        // peer0=…, peer0_state=…, peer0_rtt_us=…, …
+        const std::vector<PeerStatus> peers = pool_->statuses();
+        frame.addUint("peers", peers.size());
+        for (size_t i = 0; i < peers.size(); ++i) {
+            const std::string p = "peer" + std::to_string(i);
+            frame.addString(p, peers[i].spec);
+            frame.addString(p + "_state", peerStateName(peers[i].state));
+            if (!peers[i].fp.empty())
+                frame.addString(p + "_fp", peers[i].fp);
+            frame.addUint(p + "_rtt_us", peers[i].rttMicros);
+            frame.addUint(p + "_inflight", peers[i].inflight);
+            frame.addUint(p + "_active", peers[i].active);
+            frame.addUint(p + "_depth", peers[i].queueDepth);
+            if (!peers[i].error.empty())
+                frame.addString(p + "_error", peers[i].error);
+        }
+    }
     return frame;
 }
 
@@ -529,14 +625,49 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
                           std::to_string(kMaxGridCells));
     }
 
+    // Shard field (additive, protocol stays v1): the submit names one
+    // slice of the grid — this daemon is being used as a federation
+    // peer (or a manual distributed run). The shard's artifact is
+    // sim/merge.hh-framed, not the plain report.
+    std::optional<ShardSpec> shard;
+    if (request.has("shard")) {
+        const std::string text = request.stringField("shard");
+        shard = parseShardSpec(text);
+        if (!shard) {
+            return errorFrame("bad shard '" + text +
+                              "' (use i/N with 1 <= i <= N <= " +
+                              std::to_string(kMaxShards) + ")");
+        }
+    }
+
     auto job = std::make_shared<Job>();
     job->suite = suite;
     job->format = format;
-    job->grid = expandGrid(spec);
     job->insts = insts;
     job->seed = seed;
-    job->fingerprint = resultCacheKey(job->grid, insts, seed, suite,
-                                      format, registryFingerprint());
+    // Normalized lists: what a coordinator forwards so a peer's
+    // expandGrid reproduces this grid exactly.
+    job->benches = joinComma(spec.benches);
+    std::vector<std::string> core_names;
+    for (const CoreKind kind : kinds)
+        core_names.push_back(coreKindName(kind));
+    job->cores = joinComma(core_names);
+
+    std::vector<SweepJob> full = expandGrid(spec);
+    job->gridRows = full.size();
+    job->gridFp = gridFingerprint(full, insts, seed);
+    // The cache key is always over the FULL grid plus the shard
+    // identity: a shard 1/2 of {a,b} and a whole-grid submit of {a}
+    // expand to the same job list but frame different bytes.
+    job->fingerprint = resultCacheKey(
+        full, insts, seed, suite, format, registryFingerprint(),
+        shard ? "shard=" + shardText(*shard) : std::string());
+    if (shard) {
+        job->shard = *shard;
+        job->grid = shardJobs(full, *shard);
+    } else {
+        job->grid = std::move(full);
+    }
     // Per-job deadline: frame field overrides the daemon default; 0
     // (either way) means unbounded. The clock starts at submission —
     // queue wait counts against the limit, matching what a client's own
@@ -572,6 +703,9 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
     frame.addUint("job", job->id);
     frame.addString("fp", fingerprintHex(job->fingerprint));
     frame.addUint("rows", job->grid.size());
+    frame.addUint("grid_rows", job->gridRows);
+    if (job->shard)
+        frame.addString("shard", shardText(*job->shard));
     return frame;
 }
 
@@ -666,6 +800,14 @@ Server::handleConnection(int fd, uint64_t conn_id)
             } else if (type == "status" || type == "result") {
                 const std::optional<uint64_t> id =
                     request->uintField("job");
+                if (!id && type == "status") {
+                    // No job id: answer for the daemon itself — queue
+                    // occupancy, identity, per-peer health. This is
+                    // both the CLI's `status` verb and the federation
+                    // health poll.
+                    writeFrame(fd, daemonStatusFrame());
+                    continue;
+                }
                 std::shared_ptr<Job> job;
                 if (id) {
                     std::lock_guard<std::mutex> lock(mutex_);

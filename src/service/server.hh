@@ -58,6 +58,9 @@
 #include <thread>
 #include <vector>
 
+#include "service/federation/coordinator.hh"
+#include "service/federation/peer_pool.hh"
+#include "service/federation/transport.hh"
 #include "service/protocol.hh"
 #include "service/result_cache.hh"
 #include "sim/sweep.hh"
@@ -79,6 +82,16 @@ struct ServerOptions
     /** Default per-job wall-clock limit in seconds (0 = none); a
      *  submit frame's deadline_sec field overrides it per job. */
     uint64_t deadlineSec = 0;
+    /** Additional TCP listener, "host:port" (port 0 = ephemeral —
+     *  tcpEndpoint() reports the bound one); "" = Unix socket only. */
+    std::string listenTcp;
+    /** Peer daemon endpoints (`--peers`): non-empty turns this daemon
+     *  into a federation coordinator — whole-grid submits are sliced
+     *  across the healthy peers and merged byte-identically. */
+    std::vector<std::string> peers;
+    /** Straggler deadline per dispatched slice, in seconds (0 = none);
+     *  see CoordinatorOptions::sliceDeadlineSec. */
+    uint64_t sliceDeadlineSec = 0;
 };
 
 /** Finished-job records kept for `status`/`result` (see jobs_). */
@@ -129,6 +142,17 @@ class Server
     ServerStats stats() const;
     const std::string &socketPath() const { return options_.socketPath; }
 
+    /** The bound TCP endpoint ("host:port"), "" without --listen-tcp.
+     *  With port 0 this is where the ephemeral port surfaces — tests
+     *  and the serve banner read it after start(). */
+    const std::string &tcpEndpoint() const
+    {
+        return tcpListener_.boundSpec();
+    }
+
+    /** The peer pool (null unless this daemon is a coordinator). */
+    PeerPool *peerPool() { return pool_.get(); }
+
     /** The shared engine (tests inspect its counters directly). */
     SweepEngine &engine() { return engine_; }
 
@@ -141,10 +165,23 @@ class Server
         uint64_t id = 0;
         std::string suite;
         std::string format;          ///< "csv" | "json"
-        std::vector<SweepJob> grid;  ///< expanded, validated
+        /** The jobs this daemon will execute: the full expansion, or —
+         *  for a shard submit — just this daemon's slice of it. */
+        std::vector<SweepJob> grid;
         uint64_t insts = 0;
         std::optional<uint64_t> seed;
         uint64_t fingerprint = 0;    ///< resultCacheKey()
+
+        /** Set for `submit` frames carrying a shard field: this job is
+         *  one slice of a larger grid (a federation dispatch) and its
+         *  artifact is shard-framed (sim/merge.hh). */
+        std::optional<ShardSpec> shard;
+        uint64_t gridRows = 0; ///< full unsharded grid row count
+        uint64_t gridFp = 0;   ///< gridFingerprint() of the full grid
+        /** Normalized comma lists ("all" expanded) — what a coordinator
+         *  forwards to peers so they re-expand the identical grid. */
+        std::string benches;
+        std::string cores;
 
         /** Cooperative cancel flag handed to SweepEngine::run(); set by
          *  the cancel verb or the deadline watchdog while the engine is
@@ -175,13 +212,21 @@ class Server
     void finishJobLocked(const std::shared_ptr<Job> &job);
     Frame jobStatusFrame(const Job &job) const;
     Frame jobResultFrame(const Job &job) const;
+    /** The no-job `status` answer: daemon identity, queue occupancy,
+     *  the running job (if any), and — on a coordinator — one flat
+     *  field group per peer (peer<i>, peer<i>_state, …). */
+    Frame daemonStatusFrame();
     static const char *stateName(JobState state);
 
     ServerOptions options_;
     SweepEngine engine_;
     ResultCache cache_;
+    /** Federation (only when options_.peers is non-empty). */
+    std::unique_ptr<PeerPool> pool_;
+    std::unique_ptr<Coordinator> coordinator_;
 
-    int listenFd_ = -1;
+    Listener unixListener_;
+    Listener tcpListener_; ///< valid only with options_.listenTcp
     std::atomic<bool> draining_{false};
     std::thread acceptThread_;
     std::thread dispatchThread_;

@@ -136,7 +136,10 @@ parseJsonArtifact(const std::string &what,
             row.pop_back();
         if (row.size() < 4 || row.compare(0, 3, "  {") != 0 ||
             row.back() != '}') {
-            fail(what, "malformed result row: " + lines[i]);
+            // 1-based row ordinal within this shard's results array, so
+            // a bad row in a megabyte artifact is findable.
+            fail(what, "malformed result row " + std::to_string(i - 1) +
+                           ": " + lines[i]);
         }
         artifact.rows.push_back(row.substr(2));
     }
@@ -148,6 +151,18 @@ shardName(const ShardSpec &shard)
 {
     return std::to_string(shard.index + 1) + "/" +
            std::to_string(shard.count);
+}
+
+/** "shard 2/3 (from peer-a.csv)" — merge errors name the offending
+ *  input, not just its coordinates, so a failed N-way federation merge
+ *  points at the peer/file to inspect. */
+std::string
+sourceOf(const ShardArtifact &a)
+{
+    std::string name = "shard " + shardName(a.shard);
+    if (!a.source.empty())
+        name += " (from " + a.source + ")";
+    return name;
 }
 
 } // namespace
@@ -228,6 +243,7 @@ parseShardArtifact(const std::string &text, const std::string &what)
         artifact = parseJsonArtifact(what, lines);
     else
         fail(what, "not a shard artifact (unrecognized first line)");
+    artifact.source = what;
 
     const size_t expected =
         shardRowCount(artifact.gridRows, artifact.shard);
@@ -251,35 +267,44 @@ mergeShards(const std::vector<ShardArtifact> &artifacts)
     const unsigned count = first.shard.count;
     for (const ShardArtifact &a : artifacts) {
         if (a.shard.count != count) {
-            throw MergeError("shard count mismatch: " + shardName(a.shard) +
-                             " vs " + shardName(first.shard));
+            throw MergeError("shard count mismatch: " + sourceOf(a) +
+                             " says " + std::to_string(a.shard.count) +
+                             "-way, " + sourceOf(first) + " says " +
+                             std::to_string(count) + "-way");
         }
         if (a.gridRows != first.gridRows) {
             throw MergeError(
-                "grid size mismatch: shard " + shardName(a.shard) +
-                " covers a " + std::to_string(a.gridRows) +
-                "-row grid, shard " + shardName(first.shard) + " a " +
+                "grid size mismatch: " + sourceOf(a) + " covers a " +
+                std::to_string(a.gridRows) + "-row grid, " +
+                sourceOf(first) + " a " +
                 std::to_string(first.gridRows) + "-row grid");
         }
         if (a.gridFp != first.gridFp) {
             throw MergeError(
-                "shards come from different sweeps: shard " +
-                shardName(a.shard) +
-                "'s grid fingerprint does not match shard " +
-                shardName(first.shard) +
+                "shards come from different sweeps: " + sourceOf(a) +
+                "'s grid fingerprint does not match " + sourceOf(first) +
                 "'s (same benches/cores/variants/insts/seed/config "
                 "required)");
         }
-        if (a.isJson != first.isJson)
-            throw MergeError("cannot merge CSV and JSON shard artifacts");
-        if (!a.isJson && a.csvHeader != first.csvHeader)
-            throw MergeError("CSV schema mismatch between shards");
+        if (a.isJson != first.isJson) {
+            throw MergeError(
+                "cannot merge CSV and JSON shard artifacts (" +
+                sourceOf(a) + " vs " + sourceOf(first) + ")");
+        }
+        if (!a.isJson && a.csvHeader != first.csvHeader) {
+            throw MergeError("CSV schema mismatch between shards: " +
+                             sourceOf(a) + " vs " + sourceOf(first));
+        }
     }
 
     std::vector<const ShardArtifact *> by_index(count, nullptr);
     for (const ShardArtifact &a : artifacts) {
-        if (by_index[a.shard.index])
-            throw MergeError("duplicate shard " + shardName(a.shard));
+        if (by_index[a.shard.index]) {
+            throw MergeError("duplicate shard " + shardName(a.shard) +
+                             " (provided by both " +
+                             sourceOf(*by_index[a.shard.index]) + " and " +
+                             sourceOf(a) + ")");
+        }
         by_index[a.shard.index] = &a;
     }
     std::string missing;

@@ -34,9 +34,12 @@
 
 #include "common/fault_inject.hh"
 #include "service/client.hh"
+#include "service/federation/peer_pool.hh"
+#include "service/federation/transport.hh"
 #include "service/protocol.hh"
 #include "service/result_cache.hh"
 #include "service/server.hh"
+#include "sim/merge.hh"
 #include "sim/report.hh"
 #include "sim/version_info.hh"
 
@@ -120,6 +123,11 @@ TEST(Protocol, MalformedFramesAreRejected)
         "{\"k\":\"no type field\"}",
         "{\"type\":7}", // type must be a string
         "{1:\"unquoted key\"}",
+        // Federation fields obey the same flat string/uint discipline.
+        "{\"type\":\"submit\",\"shard\":{\"i\":1,\"n\":3}}",
+        "{\"type\":\"submit\",\"shard\":1.5}",
+        "{\"type\":\"status\",\"peers\":[\"a:1\",\"b:2\"]}",
+        "{\"type\":\"status\",\"peer0_rtt_us\":-3}",
     };
     for (const char *line : bad)
         EXPECT_THROW(Frame::parse(line), ProtocolError) << line;
@@ -407,13 +415,42 @@ TEST_F(ServiceTest, MalformedAndInvalidRequestsGetErrors)
         bad_format.addString("format", "table");
         EXPECT_EQ(client.request(bad_format).type(), "error");
 
+        // `status` without a job id is the daemon's own status frame
+        // (see the DaemonStatus tests); `result` without one is still
+        // a hard error — there is no "the daemon's result".
         Frame no_job("status");
-        EXPECT_EQ(client.request(no_job).type(), "error");
+        EXPECT_EQ(client.request(no_job).type(), "status");
+        Frame no_job_result("result");
+        EXPECT_EQ(client.request(no_job_result).type(), "error");
         Frame unknown_job("result");
         unknown_job.addUint("job", 999);
         EXPECT_EQ(client.request(unknown_job).type(), "error");
 
+        // Malformed shard values on submit: each is an explicit error
+        // frame, and none of them kills the session.
+        for (const char *shard : {"", "0/3", "4/3", "x/y", "1/0", "3",
+                                  "1/100001", "2/2/2", "-1/2"}) {
+            Frame bad_shard("submit");
+            bad_shard.addString("benches", "gzip");
+            bad_shard.addString("cores", "in-order");
+            bad_shard.addUint("insts", 1000);
+            bad_shard.addString("shard", shard);
+            EXPECT_EQ(client.request(bad_shard).type(), "error")
+                << "shard='" << shard << "'";
+        }
+
         // The session survived every rejected request.
+        EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+
+        // A shard field of the wrong JSON type is a frame-level reject
+        // (flat frames carry strings and uints only): error, then the
+        // session ends — but the daemon keeps serving.
+        client.sendRaw("{\"type\":\"submit\",\"shard\":[1,2]}\n");
+        EXPECT_EQ(client.readFrame().type(), "error");
+        EXPECT_THROW(client.readFrame(), ProtocolError); // session over
+    }
+    {
+        ServiceClient client(socket_);
         EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
     }
 }
@@ -1054,6 +1091,486 @@ TEST_F(ServiceFaultTest, TornResponseWriteKillsSessionNotDaemon)
     EXPECT_EQ(next.request(Frame("ping")).type(), "pong");
     server.requestDrain();
     server.join();
+}
+
+// ---------------------------------------------------------- daemon status
+
+TEST_F(ServiceTest, DaemonStatusFrameReportsQueueAndIdentity)
+{
+    Server server(options(1, 4));
+    server.start();
+
+    ServiceClient client(socket_);
+    const Frame idle = client.request(Frame("status"));
+    ASSERT_EQ(idle.type(), "status");
+    EXPECT_EQ(idle.uintField("proto", 0), kProtocolVersion);
+    EXPECT_EQ(idle.stringField("fp"),
+              fingerprintHex(registryFingerprint()));
+    EXPECT_EQ(idle.uintField("queue_depth", 0), 4u);
+    EXPECT_EQ(idle.uintField("active", 99), 0u);
+    EXPECT_EQ(idle.uintField("draining", 99), 0u);
+    EXPECT_FALSE(idle.has("running_job"));
+    EXPECT_FALSE(idle.has("peers")); // not a coordinator
+
+    // While a heavy job runs, the frame names it.
+    const Frame ack =
+        client.request(submitFrame("mcf", "all", 400000, false));
+    ASSERT_EQ(ack.type(), "submitted");
+    const uint64_t id = ack.uintField("job", 0);
+    Frame busy_status;
+    for (int i = 0; i < 500; ++i) {
+        busy_status = client.request(Frame("status"));
+        if (busy_status.has("running_job"))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(busy_status.has("running_job"));
+    EXPECT_EQ(busy_status.uintField("running_job", 0), id);
+    EXPECT_GE(busy_status.uintField("active", 0), 1u);
+
+    server.requestDrain();
+    server.join();
+    EXPECT_EQ(server.stats().completed, 1u); // drain finished the job
+}
+
+// ------------------------------------------------------------------- TCP
+
+TEST_F(ServiceTest, TcpListenerServesByteIdenticalArtifacts)
+{
+    ServerOptions opts = options();
+    opts.listenTcp = "127.0.0.1:0"; // ephemeral: no port collisions
+    Server server(opts);
+    server.start();
+    const std::string tcp = server.tcpEndpoint();
+    ASSERT_NE(tcp.find("127.0.0.1:"), std::string::npos);
+
+    // The same daemon answers on both transports, byte-identically.
+    for (const std::string &spec : {tcp, socket_}) {
+        ServiceClient client(spec);
+        EXPECT_EQ(client.hello().stringField("fp"),
+                  fingerprintHex(registryFingerprint()));
+        const Frame ack = client.request(
+            submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+        ASSERT_EQ(ack.type(), "submitted") << spec;
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result") << spec;
+        EXPECT_EQ(result.stringField("payload"),
+                  directSweep("mcf,gzip", "in-order,icfp", 3000))
+            << spec;
+    }
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, TcpFramingSurvivesPartialDelivery)
+{
+    ServerOptions opts = options();
+    opts.listenTcp = "127.0.0.1:0";
+    Server server(opts);
+    server.start();
+
+    // Drip a ping frame one byte at a time over TCP: readFrame must
+    // buffer across however many partial reads the kernel serves.
+    const int fd = connectSpec(server.tcpEndpoint());
+    ASSERT_GE(fd, 0);
+    std::string buffer;
+    const std::optional<Frame> hello = readFrame(fd, &buffer, 5000);
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(hello->type(), "hello");
+
+    const std::string line = Frame("ping").serialize() + "\n";
+    for (const char byte : line) {
+        ASSERT_EQ(::send(fd, &byte, 1, MSG_NOSIGNAL), 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::optional<Frame> pong = readFrame(fd, &buffer, 5000);
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->type(), "pong");
+    ::close(fd);
+
+    // A torn frame (half a line, then close) must not hurt the daemon.
+    const int torn = connectSpec(server.tcpEndpoint());
+    ASSERT_GE(torn, 0);
+    std::string torn_buffer;
+    ASSERT_TRUE(readFrame(torn, &torn_buffer, 5000).has_value());
+    const std::string half = line.substr(0, line.size() / 2);
+    ASSERT_EQ(::send(torn, half.data(), half.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(half.size()));
+    ::close(torn);
+
+    ServiceClient alive(server.tcpEndpoint());
+    EXPECT_EQ(alive.request(Frame("ping")).type(), "pong");
+    server.requestDrain();
+    server.join();
+}
+
+// --------------------------------------------------------- shard submits
+
+TEST_F(ServiceTest, ShardSubmitsMergeByteIdenticallyToUnshardedSweep)
+{
+    Server server(options());
+    server.start();
+
+    // Two shard submits of the same request, stitched back through the
+    // same mergeShards() the coordinator uses.
+    ServiceClient client(socket_);
+    std::vector<ShardArtifact> parts;
+    std::string whole_fp;
+    for (const char *shard : {"1/2", "2/2"}) {
+        Frame submit = submitFrame("mcf,gzip,equake", "in-order,icfp",
+                                   3000, true);
+        submit.addString("shard", shard);
+        const Frame ack = client.request(submit);
+        ASSERT_EQ(ack.type(), "submitted") << shard;
+        EXPECT_EQ(ack.stringField("shard"), shard);
+        EXPECT_EQ(ack.uintField("grid_rows", 0), 6u);
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result") << shard;
+        parts.push_back(parseShardArtifact(result.stringField("payload"),
+                                           std::string("shard ") + shard));
+    }
+    EXPECT_EQ(mergeShards(parts),
+              directSweep("mcf,gzip,equake", "in-order,icfp", 3000));
+
+    // A shard request and a whole-grid request of the same sweep have
+    // different artifacts, so they must have different cache keys.
+    const Frame whole_ack = client.request(
+        submitFrame("mcf,gzip,equake", "in-order,icfp", 3000, true));
+    ASSERT_EQ(whole_ack.type(), "submitted");
+    const Frame whole = client.readFrame();
+    ASSERT_EQ(whole.type(), "result");
+    EXPECT_EQ(whole.uintField("cached", 1), 0u); // no false sharing
+    EXPECT_EQ(whole.stringField("payload"),
+              directSweep("mcf,gzip,equake", "in-order,icfp", 3000));
+
+    server.requestDrain();
+    server.join();
+}
+
+// ------------------------------------------------------------ federation
+
+class FederationTest : public ServiceTest
+{
+  protected:
+    struct Peer
+    {
+        std::unique_ptr<Server> server;
+        std::string endpoint;
+    };
+
+    /** A peer daemon on its own socket/trace-dir; TCP by default. */
+    Peer makePeer(const std::string &name, bool tcp = true)
+    {
+        ServerOptions opts;
+        opts.socketPath = dir_ + "/" + name + ".sock";
+        opts.jobs = 2;
+        opts.queueDepth = 8;
+        opts.traceDir = dir_ + "/" + name + "-traces";
+        if (tcp)
+            opts.listenTcp = "127.0.0.1:0";
+        Peer peer;
+        peer.server = std::make_unique<Server>(opts);
+        peer.server->start();
+        peer.endpoint =
+            tcp ? peer.server->tcpEndpoint() : opts.socketPath;
+        return peer;
+    }
+
+    /** A coordinator on the fixture socket, waiting for @p min_healthy
+     *  peers before returning (0 = don't wait). */
+    std::unique_ptr<Server>
+    makeCoordinator(std::vector<std::string> peers, size_t min_healthy)
+    {
+        ServerOptions opts = options();
+        opts.peers = std::move(peers);
+        auto server = std::make_unique<Server>(opts);
+        server->start();
+        if (min_healthy) {
+            EXPECT_TRUE(server->peerPool()->waitHealthy(
+                min_healthy, std::chrono::seconds(20)));
+        }
+        return server;
+    }
+
+    static void drain(Server &server)
+    {
+        server.requestDrain();
+        server.join();
+    }
+};
+
+TEST_F(FederationTest, CoordinatorMergesPeerSlicesByteIdentically)
+{
+    Peer peer1 = makePeer("peer1");               // TCP
+    Peer peer2 = makePeer("peer2", /*tcp=*/false); // Unix: mixed fleet
+    std::unique_ptr<Server> coord =
+        makeCoordinator({peer1.endpoint, peer2.endpoint}, 2);
+
+    for (const std::string format : {"csv", "json"}) {
+        ServiceClient client(socket_);
+        const Frame ack = client.request(submitFrame(
+            "mcf,gzip,equake", "in-order,icfp", 3000, true, format));
+        ASSERT_EQ(ack.type(), "submitted") << format;
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result") << format;
+        EXPECT_EQ(
+            result.stringField("payload"),
+            directSweep("mcf,gzip,equake", "in-order,icfp", 3000, format))
+            << format;
+    }
+
+    // The rows ran on the peers, not on the coordinator's engine.
+    EXPECT_EQ(coord->engine().replays(), 0u);
+    EXPECT_GT(peer1.server->engine().replays(), 0u);
+    EXPECT_GT(peer2.server->engine().replays(), 0u);
+
+    // The coordinator's status frame carries per-peer health.
+    ServiceClient client(socket_);
+    const Frame status = client.request(Frame("status"));
+    ASSERT_EQ(status.type(), "status");
+    ASSERT_EQ(status.uintField("peers", 0), 2u);
+    for (const char *key : {"peer0", "peer0_state", "peer0_rtt_us",
+                            "peer1", "peer1_state"})
+        EXPECT_TRUE(status.has(key)) << key;
+    EXPECT_EQ(status.stringField("peer0_state"), "healthy");
+    EXPECT_EQ(status.stringField("peer1_state"), "healthy");
+
+    drain(*coord);
+    drain(*peer1.server);
+    drain(*peer2.server);
+}
+
+TEST_F(FederationTest, AllPeersDownDegradesToLocalByteIdentically)
+{
+    // Reserve a port that nothing answers on by binding and closing it.
+    std::string dead_spec;
+    {
+        Listener doomed = Listener::listenTcp("127.0.0.1:0");
+        dead_spec = doomed.boundSpec();
+    }
+    std::unique_ptr<Server> coord = makeCoordinator({dead_spec}, 0);
+
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    EXPECT_EQ(result.stringField("payload"),
+              directSweep("mcf,gzip", "in-order,icfp", 3000));
+    EXPECT_GT(coord->engine().replays(), 0u); // the coordinator IS the fleet
+    drain(*coord);
+}
+
+TEST_F(FederationTest, MismatchedFingerprintPeerIsRefusedNeverDispatched)
+{
+    // A fake peer whose hello carries a foreign registry fingerprint:
+    // a daemon built from different simulator semantics. Its rows must
+    // never enter a merge.
+    Listener fake = Listener::listenTcp("127.0.0.1:0");
+    const std::string fake_spec = fake.boundSpec();
+    std::atomic<unsigned> submits_seen{0};
+    std::thread imposter([&] {
+        while (true) {
+            const int fd = ::accept(fake.fd(), nullptr, nullptr);
+            if (fd < 0)
+                return; // listener closed: test over
+            try {
+                Frame hello("hello");
+                hello.addUint("proto", kProtocolVersion);
+                hello.addUint("sim", 9999);
+                hello.addString("fp", "00000000deadbeef");
+                writeFrame(fd, hello);
+                std::string buffer;
+                while (const std::optional<Frame> frame =
+                           readFrame(fd, &buffer, 2000)) {
+                    if (frame->type() == "submit")
+                        ++submits_seen;
+                    writeFrame(fd, errorFrame("imposter"));
+                }
+            } catch (...) {
+            }
+            ::close(fd);
+        }
+    });
+
+    std::unique_ptr<Server> coord = makeCoordinator({fake_spec}, 0);
+    PeerPool *pool = coord->peerPool();
+    ASSERT_NE(pool, nullptr);
+    PeerState state = PeerState::Connecting;
+    for (int i = 0; i < 1000; ++i) {
+        state = pool->statuses()[0].state;
+        if (state == PeerState::Rejected)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(state, PeerState::Rejected);
+    EXPECT_EQ(pool->statuses()[0].fp, "00000000deadbeef");
+
+    // The daemon-status frame names the refusal.
+    {
+        ServiceClient client(socket_);
+        const Frame status = client.request(Frame("status"));
+        ASSERT_EQ(status.type(), "status");
+        EXPECT_EQ(status.stringField("peer0_state"), "rejected");
+        EXPECT_NE(status.stringField("peer0_error")
+                      .find("fingerprint mismatch"),
+                  std::string::npos);
+    }
+
+    // A submit degrades to local — and the imposter never saw a slice.
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    EXPECT_EQ(result.stringField("payload"),
+              directSweep("mcf,gzip", "in-order,icfp", 3000));
+    EXPECT_EQ(submits_seen.load(), 0u);
+
+    drain(*coord);
+    // shutdown() (not just close) is what actually wakes a thread
+    // blocked in accept() on the listener.
+    ::shutdown(fake.fd(), SHUT_RDWR);
+    fake.close();
+    imposter.join();
+}
+
+TEST_F(FederationTest, PeerDeathMidCollectRedispatchesByteIdentically)
+{
+    // A fake peer that accepts the slice, answers `submitted`, then
+    // hangs up — the remote-death-mid-job shape. The coordinator must
+    // re-dispatch the slice and still merge byte-identical artifacts.
+    Listener fake = Listener::listenTcp("127.0.0.1:0");
+    const std::string fake_spec = fake.boundSpec();
+    std::atomic<bool> fake_died{false};
+    // Thread per connection: the coordinator holds a health-poll
+    // session open while the dispatch session arrives on a second one.
+    const auto session = [&](int fd) {
+        try {
+            writeFrame(fd, helloFrame());
+            std::string buffer;
+            while (const std::optional<Frame> frame =
+                       readFrame(fd, &buffer, 5000)) {
+                if (frame->type() == "ping") {
+                    Frame pong("pong");
+                    pong.addUint("proto", kProtocolVersion);
+                    writeFrame(fd, pong);
+                } else if (frame->type() == "status") {
+                    Frame status("status");
+                    status.addUint("proto", kProtocolVersion);
+                    status.addString(
+                        "fp", fingerprintHex(registryFingerprint()));
+                    status.addUint("queue_depth", 8);
+                    status.addUint("active", 0);
+                    writeFrame(fd, status);
+                } else if (frame->type() == "submit") {
+                    Frame ack("submitted");
+                    ack.addUint("job", 1);
+                    writeFrame(fd, ack);
+                    fake_died = true;
+                    break; // die abruptly, mid-job
+                }
+            }
+        } catch (...) {
+        }
+        ::close(fd);
+    };
+    std::vector<std::thread> sessions;
+    std::mutex sessions_mutex;
+    std::thread doomed([&] {
+        while (true) {
+            const int fd = ::accept(fake.fd(), nullptr, nullptr);
+            if (fd < 0)
+                return;
+            std::lock_guard<std::mutex> lock(sessions_mutex);
+            sessions.emplace_back(session, fd);
+        }
+    });
+
+    Peer survivor = makePeer("survivor");
+    std::unique_ptr<Server> coord =
+        makeCoordinator({fake_spec, survivor.endpoint}, 2);
+
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("mcf,gzip,equake", "in-order,icfp", 3000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+    EXPECT_EQ(result.stringField("payload"),
+              directSweep("mcf,gzip,equake", "in-order,icfp", 3000));
+    EXPECT_TRUE(fake_died.load()); // the failure path actually ran
+
+    drain(*coord);
+    drain(*survivor.server);
+    ::shutdown(fake.fd(), SHUT_RDWR); // wakes the blocked accept()
+    fake.close();
+    doomed.join();
+    for (std::thread &t : sessions)
+        t.join();
+}
+
+/** Federation tests that arm the process-global fault registry. */
+class FederationFaultTest : public FederationTest
+{
+  protected:
+    void SetUp() override
+    {
+        FederationTest::SetUp();
+        fault::disarmAll();
+    }
+    void TearDown() override
+    {
+        fault::disarmAll();
+        FederationTest::TearDown();
+    }
+};
+
+TEST_F(FederationFaultTest, DispatchAndCollectFaultsRecoverByteIdentically)
+{
+    Peer peer1 = makePeer("peer1");
+    Peer peer2 = makePeer("peer2");
+    std::unique_ptr<Server> coord =
+        makeCoordinator({peer1.endpoint, peer2.endpoint}, 2);
+
+    // One slice's first dispatch throws before any bytes move; the
+    // slice lands elsewhere (the other peer or the local engine) and
+    // the artifact must not show a seam.
+    ASSERT_TRUE(fault::armSpec("federation.dispatch:1"));
+    {
+        ServiceClient client(socket_);
+        const Frame ack = client.request(
+            submitFrame("mcf,gzip,equake", "in-order,icfp", 3000, true));
+        ASSERT_EQ(ack.type(), "submitted");
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result");
+        EXPECT_EQ(result.stringField("payload"),
+                  directSweep("mcf,gzip,equake", "in-order,icfp", 3000));
+    }
+    EXPECT_EQ(fault::firedCount("federation.dispatch"), 1u);
+    fault::disarmAll();
+
+    // Same for a failure after the payload arrived but before it was
+    // accepted (validation-stage death).
+    ASSERT_TRUE(fault::armSpec("federation.collect:1"));
+    {
+        ServiceClient client(socket_);
+        const Frame ack = client.request(submitFrame(
+            "mcf,gzip,equake", "in-order,icfp", 3000, true, "json"));
+        ASSERT_EQ(ack.type(), "submitted");
+        const Frame result = client.readFrame();
+        ASSERT_EQ(result.type(), "result");
+        EXPECT_EQ(result.stringField("payload"),
+                  directSweep("mcf,gzip,equake", "in-order,icfp", 3000,
+                              "json"));
+    }
+    EXPECT_EQ(fault::firedCount("federation.collect"), 1u);
+
+    drain(*coord);
+    drain(*peer1.server);
+    drain(*peer2.server);
 }
 
 } // namespace

@@ -273,5 +273,79 @@ TEST_F(ShardMerge, ParseRejectsTamperedArtifacts)
     EXPECT_THROW(parseShardArtifact(huge, "h"), MergeError);
 }
 
+TEST_F(ShardMerge, MergeErrorsNameTheOffendingSources)
+{
+    // In a federated merge a bad shard came from a specific peer; the
+    // error must say which one, not leave the operator to diff N
+    // artifacts by hand. parseShardArtifact stamps each artifact with
+    // its origin (`what`) and every mergeShards diagnostic carries it.
+    const ShardRun two = runSharded(*engine_, *spec_, 2);
+    const ShardRun three = runSharded(*engine_, *spec_, 3);
+
+    {
+        std::vector<ShardArtifact> parts = {
+            parseShardArtifact(two.csv[0], "peer a:7101 slice 1/2"),
+            parseShardArtifact(three.csv[1], "peer b:7102 slice 2/3"),
+        };
+        const std::string error =
+            mergeErrorOf([&] { mergeShards(parts); });
+        EXPECT_NE(error.find("count mismatch"), std::string::npos);
+        EXPECT_NE(error.find("peer a:7101 slice 1/2"), std::string::npos)
+            << error;
+        EXPECT_NE(error.find("peer b:7102 slice 2/3"), std::string::npos)
+            << error;
+    }
+    {
+        std::vector<ShardArtifact> parts = {
+            parseShardArtifact(two.csv[0], "peer a:7101 slice 1/2"),
+            parseShardArtifact(two.csv[0], "local slice 1/2"),
+        };
+        const std::string error =
+            mergeErrorOf([&] { mergeShards(parts); });
+        EXPECT_NE(error.find("duplicate shard 1/2"), std::string::npos);
+        EXPECT_NE(error.find("peer a:7101 slice 1/2"), std::string::npos)
+            << error;
+        EXPECT_NE(error.find("local slice 1/2"), std::string::npos)
+            << error;
+    }
+    {
+        std::vector<ShardArtifact> parts = {
+            parseShardArtifact(two.csv[0], "src-a"),
+            parseShardArtifact(two.json[1], "src-b"),
+        };
+        const std::string error =
+            mergeErrorOf([&] { mergeShards(parts); });
+        EXPECT_NE(error.find("CSV and JSON"), std::string::npos);
+        EXPECT_NE(error.find("src-a"), std::string::npos) << error;
+        EXPECT_NE(error.find("src-b"), std::string::npos) << error;
+    }
+}
+
+TEST_F(ShardMerge, ParseErrorsNameSourceAndRowIndex)
+{
+    const ShardRun run = runSharded(*engine_, *spec_, 2);
+
+    // Corrupt the SECOND data row of the JSON artifact: the error names
+    // the source and the 1-based row ordinal, and echoes the bad line.
+    std::string bad = run.json[0];
+    size_t row_start = bad.find('\n') + 1;      // past the shard header
+    row_start = bad.find('\n', row_start) + 1;  // past "results": [
+    row_start = bad.find('\n', row_start) + 1;  // past row 1
+    const size_t row_end = bad.find('\n', row_start);
+    bad.replace(row_start, row_end - row_start, "{not json at all");
+    try {
+        parseShardArtifact(bad, "peer c:7103 slice 1/2");
+        FAIL() << "tampered artifact parsed";
+    } catch (const MergeError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("peer c:7103 slice 1/2"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("malformed result row 2"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("{not json at all"), std::string::npos)
+            << what;
+    }
+}
+
 } // namespace
 } // namespace icfp

@@ -20,10 +20,12 @@
  *                                service handshake / result-cache blob)
  *   serve   --socket PATH        run the simulation service daemon
  *   submit  --socket PATH [--wait]    submit a sweep job to a daemon
- *   status  --socket PATH --job N     query one job's state
+ *   status  --socket PATH [--job N] [--json]   query one job's state,
+ *                                or (without --job) the daemon itself:
+ *                                queue occupancy and per-peer health
  *   result  --socket PATH --job N     fetch one job's artifact
  *   cancel  --socket PATH --job N     cancel a queued or running job
- *   ping    --socket PATH        handshake check against a daemon
+ *   ping    --socket PATH        handshake + round-trip latency check
  *
  * Common options:
  *   --insts N        dynamic instruction budget (default 200000)
@@ -69,9 +71,20 @@
  *                    expected job time)
  *   --retries N      client verbs: connection retries with exponential
  *                    backoff (daemon restarting / not up yet)
+ *   --json           status: dump the raw status frame (machine-
+ *                    readable, stable field names)
  *   submit also honors --suite/--benches/--cores/--insts/--seed and
  *   --format csv|json (default csv); the fetched artifact is
  *   byte-identical to `icfp-sim sweep` with the same options.
+ *
+ * Federation options (serve only; see src/service/federation/):
+ *   --listen-tcp H:P daemon also listens on TCP (port 0 = ephemeral,
+ *                    the bound port is logged at startup)
+ *   --peers A,B,...  coordinator mode: slice whole-grid submits across
+ *                    these peer daemons (host:port or socket paths) and
+ *                    merge the shard artifacts byte-identically
+ *   --slice-deadline-sec N   straggler deadline per dispatched slice
+ *                    (0 = none); an expired slice is re-dispatched
  *
  * Perf options (see sim/perf_harness.hh):
  *   --quick          trimmed grid / budget for CI smoke runs
@@ -157,6 +170,13 @@ struct Options
     bool timeoutSet = false;
     unsigned retries = 0;
     bool retriesSet = false;
+
+    // Federation options (serve only).
+    std::string peers;     ///< comma list of peer endpoints
+    std::string listenTcp; ///< extra TCP listener, "host:port"
+    uint64_t sliceDeadlineSec = 0;
+    bool sliceDeadlineSet = false;
+    bool statusJson = false; ///< status --json: raw frame dump
 
     // Perf options.
     bool quick = false;
@@ -286,6 +306,26 @@ parseArgs(int argc, char **argv, Options *opt)
             opt->timeoutSec =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
             opt->timeoutSet = true;
+        } else if (arg == "--peers") {
+            opt->peers = next();
+            if (opt->peers.empty()) {
+                std::fprintf(stderr,
+                             "--peers requires a non-empty endpoint "
+                             "list\n");
+                return false;
+            }
+        } else if (arg == "--listen-tcp") {
+            opt->listenTcp = next();
+            if (opt->listenTcp.empty()) {
+                std::fprintf(stderr,
+                             "--listen-tcp requires host:port\n");
+                return false;
+            }
+        } else if (arg == "--slice-deadline-sec") {
+            opt->sliceDeadlineSec = std::strtoull(next(), nullptr, 0);
+            opt->sliceDeadlineSet = true;
+        } else if (arg == "--json") {
+            opt->statusJson = true;
         } else if (arg == "--retries") {
             opt->retries =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
@@ -904,6 +944,9 @@ cmdServe(const Options &opt)
     sopt.traceDir = opt.traceDir;
     sopt.cacheDir = opt.cacheDir;
     sopt.deadlineSec = opt.deadlineSec;
+    sopt.listenTcp = opt.listenTcp;
+    sopt.peers = splitCommaList(opt.peers);
+    sopt.sliceDeadlineSec = opt.sliceDeadlineSec;
     service::Server server(std::move(sopt));
 
     // Handlers first: a supervisor's SIGTERM racing startup must drain,
@@ -1033,10 +1076,76 @@ cmdSubmit(const Options &opt)
     }
 }
 
+/** `status` without --job: the daemon's own status frame — queue
+ *  occupancy, identity, per-peer federation health. --json dumps the
+ *  frame verbatim (machine-readable, stable field names). */
+int
+cmdDaemonStatus(const Options &opt)
+{
+    try {
+        service::ServiceClient client(opt.socket, clientOptions(opt));
+        const service::Frame response =
+            client.request(service::Frame("status"));
+        if (response.type() != "status") {
+            std::fprintf(stderr, "status: %s\n",
+                         response.stringField("message", "unexpected '" +
+                                              response.type() +
+                                              "' response").c_str());
+            return 1;
+        }
+        if (opt.statusJson) {
+            std::printf("%s\n", response.serialize().c_str());
+            return 0;
+        }
+        std::printf("daemon: proto=%llu fp=%s active=%llu/%llu "
+                    "queued=%llu completed=%llu failed=%llu%s\n",
+                    (unsigned long long)response.uintField("proto", 0),
+                    response.stringField("fp").c_str(),
+                    (unsigned long long)response.uintField("active", 0),
+                    (unsigned long long)response.uintField("queue_depth",
+                                                           0),
+                    (unsigned long long)response.uintField("queued", 0),
+                    (unsigned long long)response.uintField("completed",
+                                                           0),
+                    (unsigned long long)response.uintField("failed", 0),
+                    response.uintField("draining", 0) ? " draining"
+                                                      : "");
+        if (response.has("running_job")) {
+            std::printf("running: job %llu\n",
+                        (unsigned long long)response.uintField(
+                            "running_job", 0));
+        }
+        const uint64_t peers = response.uintField("peers", 0);
+        for (uint64_t i = 0; i < peers; ++i) {
+            const std::string p = "peer" + std::to_string(i);
+            const std::string error = response.stringField(p + "_error");
+            std::printf("peer %s: %s rtt=%lluus inflight=%llu "
+                        "active=%llu/%llu%s%s\n",
+                        response.stringField(p).c_str(),
+                        response.stringField(p + "_state").c_str(),
+                        (unsigned long long)response.uintField(
+                            p + "_rtt_us", 0),
+                        (unsigned long long)response.uintField(
+                            p + "_inflight", 0),
+                        (unsigned long long)response.uintField(
+                            p + "_active", 0),
+                        (unsigned long long)response.uintField(
+                            p + "_depth", 0),
+                        error.empty() ? "" : " — ", error.c_str());
+        }
+        return 0;
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "status: %s\n", e.what());
+        return 1;
+    }
+}
+
 int
 cmdStatusOrResult(const Options &opt)
 {
     if (!opt.jobId) {
+        if (opt.command == "status")
+            return cmdDaemonStatus(opt);
         std::fprintf(stderr, "%s: requires --job N\n",
                      opt.command.c_str());
         return 1;
@@ -1058,6 +1167,10 @@ cmdStatusOrResult(const Options &opt)
                 return 1;
             }
             return emitPayload(opt, response.stringField("payload"));
+        }
+        if (opt.statusJson) {
+            std::printf("%s\n", response.serialize().c_str());
+            return 0;
         }
         std::printf("job %llu: %s%s (fp=%s)\n",
                     (unsigned long long)response.uintField("job", 0),
@@ -1111,16 +1224,21 @@ cmdPing(const Options &opt)
 {
     try {
         service::ServiceClient client(opt.socket, clientOptions(opt));
+        const auto sent = std::chrono::steady_clock::now();
         const service::Frame pong = client.request(service::Frame("ping"));
+        const auto rtt_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - sent)
+                .count();
         if (pong.type() != "pong") {
             std::fprintf(stderr, "ping: unexpected '%s' response\n",
                          pong.type().c_str());
             return 1;
         }
-        std::printf("pong: proto=%llu sim=%llu fp=%s\n",
+        std::printf("pong: proto=%llu sim=%llu fp=%s rtt_us=%lld\n",
                     (unsigned long long)pong.uintField("proto", 0),
                     (unsigned long long)client.hello().uintField("sim", 0),
-                    pong.stringField("fp").c_str());
+                    pong.stringField("fp").c_str(), (long long)rtt_us);
         // A client built from different simulator semantics or workload
         // definitions would compute different result fingerprints; make
         // the divergence visible at ping time, not after a stale fetch.
@@ -1225,6 +1343,23 @@ main(int argc, char **argv)
     }
     if (opt.queueDepthSet && opt.command != "serve") {
         std::fprintf(stderr, "--queue-depth only applies to 'serve'\n");
+        return 1;
+    }
+    if (!opt.peers.empty() && opt.command != "serve") {
+        std::fprintf(stderr, "--peers only applies to 'serve'\n");
+        return 1;
+    }
+    if (!opt.listenTcp.empty() && opt.command != "serve") {
+        std::fprintf(stderr, "--listen-tcp only applies to 'serve'\n");
+        return 1;
+    }
+    if (opt.sliceDeadlineSet && opt.command != "serve") {
+        std::fprintf(stderr,
+                     "--slice-deadline-sec only applies to 'serve'\n");
+        return 1;
+    }
+    if (opt.statusJson && opt.command != "status") {
+        std::fprintf(stderr, "--json only applies to 'status'\n");
         return 1;
     }
     if (opt.cacheDir && opt.command != "serve") {
