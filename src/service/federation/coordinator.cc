@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/fault_inject.hh"
+#include "common/metrics.hh"
+#include "service/ledger.hh"
 #include "sim/merge.hh"
 #include "sim/report.hh"
 
@@ -22,6 +24,21 @@ sliceName(const ShardSpec &slice)
 {
     return std::to_string(slice.index + 1) + "/" +
            std::to_string(slice.count);
+}
+
+/** Registry mirror of a FederatedOutcome (summed across jobs; the
+ *  per-job numbers stay on the ledger line and in the outcome). */
+void
+countFederatedOutcome(const FederatedOutcome &outcome)
+{
+    metrics::counter("icfp_federation_dispatches")
+        .inc(outcome.dispatched);
+    metrics::counter("icfp_federation_redispatches")
+        .inc(outcome.redispatched);
+    metrics::counter("icfp_federation_local_slices")
+        .inc(outcome.localSlices);
+    if (outcome.degradedLocal)
+        metrics::counter("icfp_federation_degraded_local").inc();
 }
 
 } // namespace
@@ -51,6 +68,7 @@ Coordinator::run(const FederatedRequest &request,
         outcome.degradedLocal = true;
         outcome.artifact =
             runLocal(request, ShardSpec{0, 1}, cancel, false);
+        countFederatedOutcome(outcome);
         return outcome;
     }
 
@@ -83,6 +101,7 @@ Coordinator::run(const FederatedRequest &request,
     for (unsigned s = 0; s < slices; ++s)
         parsed.push_back(parseShardArtifact(artifacts[s], sources[s]));
     outcome.artifact = mergeShards(parsed);
+    countFederatedOutcome(outcome);
     return outcome;
 }
 
@@ -136,9 +155,7 @@ Coordinator::runSlice(const FederatedRequest &request,
             ++outcome->redispatched; // recovery landed on the engine
         ++outcome->localSlices;
     }
-    std::fprintf(stderr,
-                 "icfp-sim serve: slice %s running on the local engine\n",
-                 name.c_str());
+    ledgerLine("slice %s running on the local engine", name.c_str());
     *artifact = runLocal(request, slice, cancel, true);
     *source = "local slice " + name;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/metrics.hh"
+#include "service/ledger.hh"
+
 namespace icfp {
 namespace service {
 
@@ -150,10 +153,9 @@ PeerPool::markRejectedLocked(Peer &peer, const std::string &seen_fp)
     peer.fp = seen_fp;
     peer.error = "registry fingerprint mismatch: peer has " + seen_fp +
                  ", this daemon has " + localFp_;
-    std::fprintf(stderr,
-                 "icfp-sim serve: REFUSING peer %s: %s (its rows would "
-                 "merge into a silently mixed report)\n",
-                 peer.spec.c_str(), peer.error.c_str());
+    ledgerLine("REFUSING peer %s: %s (its rows would merge into a "
+               "silently mixed report)",
+               peer.spec.c_str(), peer.error.c_str());
 }
 
 std::unique_ptr<ServiceClient>
@@ -230,8 +232,7 @@ PeerPool::noteFailure(size_t index, const std::string &why)
         }
         doomed.swap(peer.idle); // close outside the lock
     }
-    std::fprintf(stderr, "icfp-sim serve: peer %s failed: %s\n",
-                 peer.spec.c_str(), why.c_str());
+    ledgerLine("peer %s failed: %s", peer.spec.c_str(), why.c_str());
 }
 
 void
@@ -309,6 +310,11 @@ PeerPool::probePeer(size_t index)
         const uint64_t rtt =
             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
                 .count();
+        metrics::histogram("icfp_peer_rtt_us{peer=\"" +
+                               metrics::escapeLabelValue(peer.spec) +
+                               "\"}",
+                           metrics::latencyBucketsUs())
+            .observe(rtt);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             peer.state = PeerState::Healthy;
@@ -328,9 +334,8 @@ PeerPool::probePeer(size_t index)
         std::vector<std::unique_ptr<ServiceClient>> doomed;
         std::lock_guard<std::mutex> lock(mutex_);
         if (peer.state == PeerState::Healthy) {
-            std::fprintf(stderr,
-                         "icfp-sim serve: peer %s went dead: %s\n",
-                         peer.spec.c_str(), e.what());
+            ledgerLine("peer %s went dead: %s", peer.spec.c_str(),
+                       e.what());
         }
         if (peer.state != PeerState::Rejected) {
             peer.state = PeerState::Dead;

@@ -1,0 +1,62 @@
+#include "service/ledger.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
+
+namespace icfp {
+namespace service {
+
+namespace {
+
+void
+emit(const uint64_t *job_id, const char *fmt, va_list args)
+{
+    // Render the message first (size-probing vsnprintf pass so error
+    // strings of any length survive), then write the whole line with
+    // one fprintf — atomic enough that concurrent threads never
+    // interleave mid-line.
+    va_list probe;
+    va_copy(probe, args);
+    const int need = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    std::vector<char> message(need > 0 ? need + 1 : 1, '\0');
+    if (need > 0)
+        std::vsnprintf(message.data(), message.size(), fmt, args);
+
+    const double t = metrics::nowMicros() / 1e6;
+    if (job_id) {
+        std::fprintf(stderr,
+                     "icfp-sim serve: [t=%.3fs job=%llu] %s\n", t,
+                     (unsigned long long)*job_id, message.data());
+    } else {
+        std::fprintf(stderr, "icfp-sim serve: [t=%.3fs] %s\n", t,
+                     message.data());
+    }
+}
+
+} // namespace
+
+void
+ledgerLine(uint64_t job_id, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(&job_id, fmt, args);
+    va_end(args);
+}
+
+void
+ledgerLine(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit(nullptr, fmt, args);
+    va_end(args);
+}
+
+} // namespace service
+} // namespace icfp

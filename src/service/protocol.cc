@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/fault_inject.hh"
+#include "common/metrics.hh"
 #include "sim/simulator.hh"
 #include "sim/version_info.hh"
 
@@ -21,6 +22,9 @@ namespace {
 [[noreturn]] void
 malformed(const std::string &what)
 {
+    static metrics::Counter &rejected =
+        metrics::counter("icfp_frames_malformed");
+    rejected.inc();
     throw ProtocolError("malformed frame: " + what);
 }
 
@@ -314,7 +318,11 @@ readFrame(int fd, std::string *buffer, int timeout_ms)
         if (nl != std::string::npos) {
             const std::string line = buffer->substr(0, nl);
             buffer->erase(0, nl + 1);
-            return Frame::parse(line);
+            Frame frame = Frame::parse(line);
+            static metrics::Counter &frames_read =
+                metrics::counter("icfp_frames_read");
+            frames_read.inc();
+            return frame;
         }
         if (buffer->size() > kMaxFrameBytes)
             throw ProtocolError("frame exceeds " +
@@ -398,6 +406,9 @@ writeFrame(int fd, const Frame &frame)
                                 "slowly)");
         }
     }
+    static metrics::Counter &frames_written =
+        metrics::counter("icfp_frames_written");
+    frames_written.inc();
 }
 
 } // namespace service

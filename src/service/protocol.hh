@@ -27,9 +27,18 @@
  *
  * Frame vocabulary (field lists in sim/service/server.cc, the one
  * producer):
- *   requests:  ping | submit | status | result | stats | cancel
+ *   requests:  ping | submit | status | result | stats | cancel |
+ *              metrics
  *   responses: hello | pong | submitted | busy | status | result |
- *              stats | cancelled | error
+ *              stats | cancelled | metrics | error
+ *
+ * `metrics` (additive, still v1) scrapes the daemon's metrics registry
+ * (common/metrics.hh). The request may carry format ("text", the
+ * Prometheus exposition, or "json", the flat JSON object) and scope
+ * ("fleet", the default — a coordinator merges a peer-labelled scrape
+ * of every healthy peer into its own exposition — or "local", just
+ * this daemon; the coordinator scrapes its peers with scope=local).
+ * The response carries the exposition in payload plus uptime_sec.
  *
  * `cancel` names a job id; queued jobs are removed immediately, running
  * jobs are cancelled cooperatively at the engine's next row boundary.

@@ -8,6 +8,7 @@
 
 #include "common/durable_file.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/merge.hh"
 #include "sim/trace_store.hh" // fnv1a64
 #include "sim/version_info.hh"
@@ -59,7 +60,26 @@ removeQuietly(const fs::path &path)
     fs::remove(path, ec);
 }
 
+/** Registry mirror of stats_ (the scrape surface; stats_ stays the
+ *  per-cache accessor). */
+void
+countCacheEvent(const char *name)
+{
+    metrics::counter(std::string("icfp_result_cache_") + name).inc();
+}
+
 } // namespace
+
+const char *
+cacheTierName(CacheTier tier)
+{
+    switch (tier) {
+      case CacheTier::None: return "none";
+      case CacheTier::Memory: return "memory";
+      case CacheTier::Disk: return "disk";
+    }
+    return "?";
+}
 
 uint64_t
 resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
@@ -143,6 +163,7 @@ ResultCache::diskLoad(uint64_t key)
     if (!ok) {
         removeQuietly(path);
         ++stats_.diskCorrupt;
+        countCacheEvent("disk_corrupt");
         ICFP_WARN("result cache: corrupt entry %s removed, will recompute",
                   path.c_str());
         return std::nullopt;
@@ -155,13 +176,18 @@ ResultCache::diskLoad(uint64_t key)
 }
 
 std::optional<std::string>
-ResultCache::lookup(uint64_t key)
+ResultCache::lookup(uint64_t key, CacheTier *tier)
 {
+    if (tier)
+        *tier = CacheTier::None;
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second); // refresh: now newest
         ++stats_.hits;
+        countCacheEvent("hits");
+        if (tier)
+            *tier = CacheTier::Memory;
         return it->second->artifact;
     }
 
@@ -181,15 +207,21 @@ ResultCache::lookup(uint64_t key)
                     index_.erase(victim.key);
                     lru_.pop_back();
                     ++stats_.evictions;
+                    countCacheEvent("evictions");
                 }
             }
             ++stats_.hits;
             ++stats_.diskHits;
+            countCacheEvent("hits");
+            countCacheEvent("disk_hits");
+            if (tier)
+                *tier = CacheTier::Disk;
             return artifact;
         }
     }
 
     ++stats_.misses;
+    countCacheEvent("misses");
     return std::nullopt;
 }
 
@@ -213,6 +245,7 @@ ResultCache::insert(uint64_t key, std::string artifact)
     lru_.push_front({key, std::move(artifact)});
     index_[key] = lru_.begin();
     ++stats_.insertions;
+    countCacheEvent("insertions");
     diskInsertLocked(key, lru_.front().artifact);
 
     while (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1) {
@@ -221,6 +254,7 @@ ResultCache::insert(uint64_t key, std::string artifact)
         index_.erase(victim.key);
         lru_.pop_back();
         ++stats_.evictions;
+        countCacheEvent("evictions");
     }
 }
 
@@ -242,6 +276,7 @@ ResultCache::diskInsertLocked(uint64_t key, const std::string &artifact)
     std::string err;
     if (!writeFileDurable(path, blob, "result_cache", &err)) {
         ++stats_.diskWriteFailures;
+        countCacheEvent("disk_write_failures");
         ICFP_WARN("result cache: %s — entry kept in memory only",
                   err.c_str());
         return;

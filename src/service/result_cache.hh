@@ -67,6 +67,12 @@ uint64_t resultCacheKey(const std::vector<SweepJob> &grid, uint64_t insts,
                         uint64_t registry_fp,
                         const std::string &shard_identity = std::string());
 
+/** Which tier answered a lookup (for the caller's trace span). */
+enum class CacheTier { None, Memory, Disk };
+
+/** "none" | "memory" | "disk" for @p tier. */
+const char *cacheTierName(CacheTier tier);
+
 /**
  * A byte-capped LRU map (result fingerprint → rendered artifact) with
  * an optional crash-safe disk tier.
@@ -91,8 +97,11 @@ class ResultCache
      */
     explicit ResultCache(uint64_t max_bytes = 0, std::string dir = "");
 
-    /** The artifact for @p key, refreshing its LRU position. */
-    std::optional<std::string> lookup(uint64_t key);
+    /** The artifact for @p key, refreshing its LRU position. When
+     *  @p tier is given it reports which tier answered (None on a
+     *  miss) — observability only, never behaviour. */
+    std::optional<std::string> lookup(uint64_t key,
+                                      CacheTier *tier = nullptr);
 
     /**
      * Publish @p artifact under @p key, then enforce the byte cap

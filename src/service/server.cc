@@ -4,12 +4,17 @@
 #include <cstdio>
 #include <cstring>
 
+#include <filesystem>
+
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "common/durable_file.hh"
 #include "common/logging.hh"
+#include "service/client.hh"
+#include "service/ledger.hh"
 #include "sim/merge.hh"
 #include "sim/report.hh"
 #include "sim/trace_store.hh"
@@ -42,6 +47,15 @@ shardText(const ShardSpec &shard)
            std::to_string(shard.count);
 }
 
+/** Registry mirror of stats_ job outcomes (the scrape surface; stats_
+ *  stays the per-server accessor — several servers can share one
+ *  process in tests, so the registry aggregates across them). */
+void
+countJobEvent(const char *name)
+{
+    metrics::counter(std::string("icfp_jobs_") + name).inc();
+}
+
 } // namespace
 
 Server::Server(ServerOptions options)
@@ -55,6 +69,19 @@ Server::Server(ServerOptions options)
     }
     if (options_.queueDepth == 0)
         options_.queueDepth = 1;
+    if (options_.jobTraceDir) {
+        std::error_code ec;
+        std::filesystem::create_directories(*options_.jobTraceDir, ec);
+        if (ec) {
+            // Tracing is observability, never availability: a bad dir
+            // downgrades to "tracing unavailable" (submit --trace gets
+            // a loud error), the daemon itself stays up.
+            ICFP_WARN("job trace: cannot create %s: %s — tracing off",
+                      options_.jobTraceDir->c_str(),
+                      ec.message().c_str());
+            options_.jobTraceDir.reset();
+        }
+    }
 }
 
 Server::~Server()
@@ -88,22 +115,19 @@ Server::start()
         pool_->start();
     }
 
-    std::fprintf(stderr,
-                 "icfp-sim serve: listening on %s (jobs=%u queue-depth=%zu "
-                 "fp=%s)\n",
-                 options_.socketPath.c_str(), engine_.jobs(),
-                 options_.queueDepth,
-                 fingerprintHex(registryFingerprint()).c_str());
-    if (tcpListener_.valid()) {
-        std::fprintf(stderr, "icfp-sim serve: listening on tcp %s\n",
-                     tcpListener_.boundSpec().c_str());
-    }
+    startUs_ = metrics::nowMicros();
+    ledgerLine("listening on %s (jobs=%u queue-depth=%zu fp=%s)",
+               options_.socketPath.c_str(), engine_.jobs(),
+               options_.queueDepth,
+               fingerprintHex(registryFingerprint()).c_str());
+    if (tcpListener_.valid())
+        ledgerLine("listening on tcp %s", tcpListener_.boundSpec().c_str());
     if (pool_) {
-        std::fprintf(stderr,
-                     "icfp-sim serve: federation coordinator over %zu "
-                     "peer(s)\n",
-                     pool_->size());
+        ledgerLine("federation coordinator over %zu peer(s)",
+                   pool_->size());
     }
+    if (options_.jobTraceDir)
+        ledgerLine("job traces publish to %s", options_.jobTraceDir->c_str());
     acceptThread_ = std::thread(&Server::acceptLoop, this);
     dispatchThread_ = std::thread(&Server::dispatchLoop, this);
     watchdogThread_ = std::thread(&Server::watchdogLoop, this);
@@ -157,11 +181,15 @@ Server::join()
 
     ::unlink(options_.socketPath.c_str());
     const ServerStats s = stats();
-    std::fprintf(stderr,
-                 "icfp-sim serve: drained cleanly (%llu jobs completed, "
-                 "%llu failed)\n",
-                 (unsigned long long)s.completed,
-                 (unsigned long long)s.failed);
+    ledgerLine("drained cleanly (%llu jobs completed, %llu failed)",
+               (unsigned long long)s.completed,
+               (unsigned long long)s.failed);
+}
+
+uint64_t
+Server::uptimeSec() const
+{
+    return (metrics::nowMicros() - startUs_) / 1000000;
 }
 
 ServerStats
@@ -272,6 +300,7 @@ void
 Server::finishJobLocked(const std::shared_ptr<Job> &job)
 {
     --activeJobs_;
+    metrics::gauge("icfp_queue_jobs").sub(1);
     // Bound the finished-job history: waiters hold their own
     // shared_ptr, so expiring the oldest record only ends its
     // status/result addressability, never a pending delivery.
@@ -304,6 +333,8 @@ Server::watchdogLoop()
                                 std::to_string(job.deadlineSec) + "s limit";
                     ++stats_.failed;
                     ++stats_.deadlineExpired;
+                    countJobEvent("failed");
+                    countJobEvent("deadline_exceeded");
                     finishJobLocked(*it);
                     expired_queued.push_back(*it);
                     it = queue_.erase(it);
@@ -325,12 +356,10 @@ Server::watchdogLoop()
         if (!expired_queued.empty()) {
             completeCv_.notify_all();
             for (const auto &job : expired_queued) {
-                std::fprintf(stderr,
-                             "icfp-sim serve: job %llu fp=%s "
-                             "DEADLINE_EXCEEDED limit=%llus (queued)\n",
-                             (unsigned long long)job->id,
-                             fingerprintHex(job->fingerprint).c_str(),
-                             (unsigned long long)job->deadlineSec);
+                ledgerLine(job->id,
+                           "fp=%s DEADLINE_EXCEEDED limit=%llus (queued)",
+                           fingerprintHex(job->fingerprint).c_str(),
+                           (unsigned long long)job->deadlineSec);
             }
         }
     }
@@ -344,13 +373,29 @@ Server::executeJob(const std::shared_ptr<Job> &job)
     const uint64_t gen_before = engine_.traceGenerations();
     const uint64_t rep_before = engine_.replays();
 
+    // Every observation below is out-of-band: spans and histograms are
+    // written, never read back into the job, so the artifact bytes are
+    // independent of whether tracing is on.
+    const uint64_t exec_start = metrics::nowMicros();
+    if (job->spanLog)
+        job->spanLog->add("queue_wait", job->submitUs, exec_start);
+    metrics::histogram("icfp_job_queue_wait_us",
+                       metrics::latencyBucketsUs())
+        .observe(exec_start - job->submitUs);
+
     bool cached = false;
     bool was_cancelled = false;
     std::string artifact;
     std::string error;
     FederatedOutcome fed;
     bool federated = false;
-    if (std::optional<std::string> hit = cache_.lookup(job->fingerprint)) {
+    CacheTier tier = CacheTier::None;
+    std::optional<std::string> hit = cache_.lookup(job->fingerprint, &tier);
+    if (job->spanLog) {
+        job->spanLog->add("cache_probe", exec_start, metrics::nowMicros(),
+                          {{"tier", cacheTierName(tier)}});
+    }
+    if (hit) {
         artifact = std::move(*hit);
         cached = true;
     } else {
@@ -361,13 +406,19 @@ Server::executeJob(const std::shared_ptr<Job> &job)
                 // coordinator's merge re-interleaves.
                 const std::vector<SweepResult> results =
                     engine_.run(job->grid, job->insts, job->seed,
-                                &job->cancelRequested);
+                                &job->cancelRequested, job->spanLog.get());
+                const uint64_t emit_start = metrics::nowMicros();
                 artifact =
                     job->format == "json"
                         ? shardJson(results, *job->shard, job->gridRows,
                                     job->gridFp)
                         : shardCsv(results, *job->shard, job->gridRows,
                                    job->gridFp);
+                if (job->spanLog) {
+                    job->spanLog->add(
+                        "report_emit", emit_start, metrics::nowMicros(),
+                        {{"bytes", std::to_string(artifact.size())}});
+                }
             } else if (coordinator_) {
                 // A whole-grid submit on a coordinator: slice it across
                 // the healthy peers and merge the answers.
@@ -380,15 +431,32 @@ Server::executeJob(const std::shared_ptr<Job> &job)
                 freq.seed = job->seed;
                 freq.grid = job->grid;
                 freq.gridFp = job->gridFp;
+                const uint64_t fed_start = metrics::nowMicros();
                 fed = coordinator_->run(freq, &job->cancelRequested);
                 artifact = std::move(fed.artifact);
                 federated = true;
+                if (job->spanLog) {
+                    job->spanLog->add(
+                        "federation", fed_start, metrics::nowMicros(),
+                        {{"peers", std::to_string(fed.peers)},
+                         {"dispatched", std::to_string(fed.dispatched)},
+                         {"redispatched",
+                          std::to_string(fed.redispatched)},
+                         {"local_slices",
+                          std::to_string(fed.localSlices)}});
+                }
             } else {
                 const std::vector<SweepResult> results =
                     engine_.run(job->grid, job->insts, job->seed,
-                                &job->cancelRequested);
+                                &job->cancelRequested, job->spanLog.get());
+                const uint64_t emit_start = metrics::nowMicros();
                 artifact = job->format == "json" ? sweepJson(results)
                                                  : sweepCsv(results);
+                if (job->spanLog) {
+                    job->spanLog->add(
+                        "report_emit", emit_start, metrics::nowMicros(),
+                        {{"bytes", std::to_string(artifact.size())}});
+                }
             }
             cache_.insert(job->fingerprint, artifact);
         } catch (const SweepCancelled &) {
@@ -400,6 +468,18 @@ Server::executeJob(const std::shared_ptr<Job> &job)
 
     const uint64_t generations = engine_.traceGenerations() - gen_before;
     const uint64_t replays = engine_.replays() - rep_before;
+
+    metrics::histogram("icfp_job_duration_us", metrics::latencyBucketsUs())
+        .observe(metrics::nowMicros() - job->submitUs);
+    // Publish the trace BEFORE the state transition below makes the
+    // job's completion observable: a waiting client that just got its
+    // result can open the trace file immediately.
+    const char *outcome =
+        was_cancelled
+            ? (job->deadlineHit ? "deadline_exceeded" : "cancelled")
+            : (!error.empty() ? "failed"
+                              : (cached ? "done (cache hit)" : "done"));
+    publishJobTrace(*job, outcome);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (was_cancelled && job->deadlineHit) {
@@ -410,37 +490,36 @@ Server::executeJob(const std::shared_ptr<Job> &job)
                          std::to_string(job->deadlineSec) + "s limit";
             ++stats_.failed;
             ++stats_.deadlineExpired;
+            countJobEvent("failed");
+            countJobEvent("deadline_exceeded");
         } else if (was_cancelled) {
             job->state = JobState::Cancelled;
             ++stats_.cancelled;
+            countJobEvent("cancelled");
         } else if (!error.empty()) {
             job->state = JobState::Failed;
             job->error = error;
             ++stats_.failed;
+            countJobEvent("failed");
         } else {
             job->state = JobState::Done;
             job->cached = cached;
             job->artifact = std::move(artifact);
             ++stats_.completed;
             ++(cached ? stats_.cacheHits : stats_.cacheMisses);
+            countJobEvent("completed");
         }
         finishJobLocked(job);
     }
     completeCv_.notify_all();
 
     if (was_cancelled && job->deadlineHit) {
-        std::fprintf(stderr,
-                     "icfp-sim serve: job %llu fp=%s DEADLINE_EXCEEDED "
-                     "limit=%llus\n",
-                     (unsigned long long)job->id,
-                     fingerprintHex(job->fingerprint).c_str(),
-                     (unsigned long long)job->deadlineSec);
+        ledgerLine(job->id, "fp=%s DEADLINE_EXCEEDED limit=%llus",
+                   fingerprintHex(job->fingerprint).c_str(),
+                   (unsigned long long)job->deadlineSec);
     } else if (was_cancelled) {
-        std::fprintf(stderr,
-                     "icfp-sim serve: job %llu fp=%s CANCELLED at row "
-                     "boundary\n",
-                     (unsigned long long)job->id,
-                     fingerprintHex(job->fingerprint).c_str());
+        ledgerLine(job->id, "fp=%s CANCELLED at row boundary",
+                   fingerprintHex(job->fingerprint).c_str());
     } else if (error.empty()) {
         // Federated jobs extend the ledger with the partial-failure
         // counters ("… federation peers=3 dispatched=3 redispatched=1
@@ -455,22 +534,40 @@ Server::executeJob(const std::shared_ptr<Job> &job)
                           fed.localSlices,
                           fed.degradedLocal ? " degraded" : "");
         }
-        std::fprintf(stderr,
-                     "icfp-sim serve: job %llu fp=%s cache=%s "
-                     "generations=%llu replays=%llu rows=%zu bytes=%zu"
-                     "%s\n",
-                     (unsigned long long)job->id,
-                     fingerprintHex(job->fingerprint).c_str(),
-                     cached ? "hit" : "miss",
-                     (unsigned long long)generations,
-                     (unsigned long long)replays, job->grid.size(),
-                     job->artifact.size(), fed_suffix);
+        ledgerLine(job->id,
+                   "fp=%s cache=%s generations=%llu replays=%llu "
+                   "rows=%zu bytes=%zu%s",
+                   fingerprintHex(job->fingerprint).c_str(),
+                   cached ? "hit" : "miss",
+                   (unsigned long long)generations,
+                   (unsigned long long)replays, job->grid.size(),
+                   job->artifact.size(), fed_suffix);
     } else {
-        std::fprintf(stderr, "icfp-sim serve: job %llu fp=%s FAILED: %s\n",
-                     (unsigned long long)job->id,
-                     fingerprintHex(job->fingerprint).c_str(),
-                     error.c_str());
+        ledgerLine(job->id, "fp=%s FAILED: %s",
+                   fingerprintHex(job->fingerprint).c_str(),
+                   error.c_str());
     }
+}
+
+void
+Server::publishJobTrace(const Job &job, const char *outcome)
+{
+    if (!job.spanLog || job.traceFile.empty())
+        return;
+    const std::string json =
+        metrics::chromeTraceJson(job.spanLog->snapshot(), job.id, outcome);
+    std::string err;
+    if (!writeFileDurable(job.traceFile, json, "job_trace", &err)) {
+        // Same degradation as the result cache's disk tier: a trace is
+        // an observability artifact, so a failed write is a warning and
+        // a counter, never a failed job.
+        metrics::counter("icfp_job_trace_write_failures").inc();
+        ICFP_WARN("job trace: %s — trace dropped, job unaffected",
+                  err.c_str());
+        return;
+    }
+    ledgerLine(job.id, "trace=%s spans=%zu", job.traceFile.c_str(),
+               job.spanLog->snapshot().size());
 }
 
 const char *
@@ -515,6 +612,7 @@ Server::daemonStatusFrame()
     Frame frame("status");
     frame.addUint("proto", kProtocolVersion);
     frame.addString("fp", fingerprintHex(registryFingerprint()));
+    frame.addUint("uptime_sec", uptimeSec());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         frame.addUint("queue_depth", options_.queueDepth);
@@ -523,6 +621,7 @@ Server::daemonStatusFrame()
         frame.addUint("draining", draining_.load() ? 1 : 0);
         frame.addUint("completed", stats_.completed);
         frame.addUint("failed", stats_.failed);
+        frame.addUint("cancelled", stats_.cancelled);
         // At most one job runs at a time (serial dispatcher); name it
         // when present. Additive field — absent on an idle daemon.
         for (const auto &[id, job] : jobs_) {
@@ -640,6 +739,15 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
         }
     }
 
+    // Opt-in per-job tracing: refused loudly when the daemon has no
+    // trace directory — a client asking for a trace it will never get
+    // is a misconfiguration, not something to silently ignore.
+    const bool trace = request.uintField("trace", 0) != 0;
+    if (trace && !options_.jobTraceDir) {
+        return errorFrame(
+            "tracing unavailable: daemon started without --job-trace-dir");
+    }
+
     auto job = std::make_shared<Job>();
     job->suite = suite;
     job->format = format;
@@ -680,21 +788,32 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
                           std::chrono::seconds(job->deadlineSec);
     }
 
+    job->submitUs = metrics::nowMicros();
+    if (trace)
+        job->spanLog = std::make_shared<metrics::SpanLog>();
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (draining_.load())
             return errorFrame("draining: not accepting new jobs");
         if (activeJobs_ >= options_.queueDepth) {
             ++stats_.busy;
+            metrics::counter("icfp_busy_refusals").inc();
             Frame busy("busy");
             busy.addUint("depth", options_.queueDepth);
             return busy;
         }
         job->id = nextJobId_++;
+        if (trace) {
+            job->traceFile = *options_.jobTraceDir + "/job-" +
+                             std::to_string(job->id) + ".trace.json";
+        }
         jobs_[job->id] = job;
         queue_.push_back(job);
         ++activeJobs_;
+        metrics::gauge("icfp_queue_jobs").add(1);
         ++stats_.submitted;
+        countJobEvent("submitted");
     }
     queueCv_.notify_one();
 
@@ -706,6 +825,61 @@ Server::handleSubmit(const Frame &request, std::shared_ptr<Job> *out)
     frame.addUint("grid_rows", job->gridRows);
     if (job->shard)
         frame.addString("shard", shardText(*job->shard));
+    if (!job->traceFile.empty())
+        frame.addString("trace_file", job->traceFile);
+    return frame;
+}
+
+Frame
+Server::handleMetrics(const Frame &request)
+{
+    const std::string format = request.stringField("format", "text");
+    if (format != "text" && format != "json")
+        return errorFrame("metrics format must be text or json");
+    const std::string scope = request.stringField("scope", "fleet");
+    if (scope != "fleet" && scope != "local")
+        return errorFrame("metrics scope must be fleet or local");
+
+    std::string text = metrics::Registry::instance().textExposition();
+    if (scope == "fleet" && pool_) {
+        // The rollup: scrape every healthy peer (scope=local so a peer
+        // that is itself a coordinator answers only for itself) and
+        // merge the expositions with a peer="spec" label. A failed
+        // scrape degrades to a partial rollup plus a counter — the
+        // coordinator's own metrics always answer.
+        std::vector<std::pair<std::string, std::string>> peer_texts;
+        for (const PeerStatus &peer : pool_->statuses()) {
+            if (peer.state != PeerState::Healthy)
+                continue;
+            try {
+                ClientOptions copts;
+                copts.timeoutSec = 5;
+                ServiceClient client(peer.spec, copts);
+                Frame scrape("metrics");
+                scrape.addString("format", "text");
+                scrape.addString("scope", "local");
+                Frame reply = client.request(scrape);
+                if (reply.type() != "metrics") {
+                    throw ProtocolError("peer answered '" + reply.type() +
+                                        "'");
+                }
+                peer_texts.emplace_back(peer.spec,
+                                        reply.stringField("payload"));
+            } catch (const std::exception &e) {
+                metrics::counter("icfp_metrics_scrape_failures").inc();
+                ledgerLine("metrics scrape of peer %s failed: %s",
+                           peer.spec.c_str(), e.what());
+            }
+        }
+        text = metrics::mergeExpositions(text, peer_texts);
+    }
+
+    Frame frame("metrics");
+    frame.addUint("uptime_sec", uptimeSec());
+    frame.addString("format", format);
+    frame.addString("payload", format == "json"
+                                   ? metrics::expositionTextToJson(text)
+                                   : text);
     return frame;
 }
 
@@ -735,6 +909,7 @@ Server::handleCancel(const Frame &request)
                 }
                 job->state = JobState::Cancelled;
                 ++stats_.cancelled;
+                countJobEvent("cancelled");
                 finishJobLocked(job);
                 queued_cancel = job;
                 response = Frame("cancelled");
@@ -758,11 +933,8 @@ Server::handleCancel(const Frame &request)
     }
     if (queued_cancel) {
         completeCv_.notify_all();
-        std::fprintf(stderr,
-                     "icfp-sim serve: job %llu fp=%s CANCELLED while "
-                     "queued\n",
-                     (unsigned long long)queued_cancel->id,
-                     fingerprintHex(queued_cancel->fingerprint).c_str());
+        ledgerLine(queued_cancel->id, "fp=%s CANCELLED while queued",
+                   fingerprintHex(queued_cancel->fingerprint).c_str());
     }
     return response;
 }
@@ -780,7 +952,19 @@ Server::handleConnection(int fd, uint64_t conn_id)
                 pong.addUint("proto", kProtocolVersion);
                 pong.addString("fp",
                                fingerprintHex(registryFingerprint()));
+                pong.addUint("uptime_sec", uptimeSec());
+                {
+                    // Lifetime outcome counters ride along (additive
+                    // fields): a ping doubles as a one-frame health
+                    // summary.
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    pong.addUint("completed", stats_.completed);
+                    pong.addUint("failed", stats_.failed);
+                    pong.addUint("cancelled", stats_.cancelled);
+                }
                 writeFrame(fd, pong);
+            } else if (type == "metrics") {
+                writeFrame(fd, handleMetrics(*request));
             } else if (type == "stats") {
                 const ServerStats s = stats();
                 Frame frame("stats");

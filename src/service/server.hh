@@ -58,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "service/federation/coordinator.hh"
 #include "service/federation/peer_pool.hh"
 #include "service/federation/transport.hh"
@@ -92,6 +93,12 @@ struct ServerOptions
     /** Straggler deadline per dispatched slice, in seconds (0 = none);
      *  see CoordinatorOptions::sliceDeadlineSec. */
     uint64_t sliceDeadlineSec = 0;
+    /** Per-job Chrome-trace directory (`--job-trace-dir`): when set,
+     *  every job's phase spans are durably published as
+     *  `<dir>/job-<id>.trace.json` (loadable in chrome://tracing /
+     *  Perfetto). Distinct from traceDir, the golden-trace store.
+     *  Out-of-band: artifacts stay byte-identical either way. */
+    std::optional<std::string> jobTraceDir;
 };
 
 /** Finished-job records kept for `status`/`result` (see jobs_). */
@@ -196,6 +203,14 @@ class Server
         bool cached = false;
         std::string artifact;        ///< rendered report (Done)
         std::string error;           ///< failure message (Failed)
+
+        /** Submission instant (metrics::nowMicros()): queue-wait and
+         *  wall-time observations measure from here. */
+        uint64_t submitUs = 0;
+        /** Phase spans for the per-job Chrome trace; non-null only
+         *  when the daemon has a jobTraceDir. */
+        std::shared_ptr<metrics::SpanLog> spanLog;
+        std::string traceFile; ///< where the trace JSON publishes
     };
 
     void acceptLoop();
@@ -206,6 +221,16 @@ class Server
     void reapFinishedConnections();
     Frame handleSubmit(const Frame &request, std::shared_ptr<Job> *out);
     Frame handleCancel(const Frame &request);
+    /** The `metrics` scrape: local registry exposition; on a
+     *  coordinator with scope=fleet, merged with a peer-labelled
+     *  scrape of every healthy peer. */
+    Frame handleMetrics(const Frame &request);
+    /** Durably publish the job's Chrome trace (no-op without a span
+     *  log). Called before the job's completion is observable so a
+     *  waiting client can read the file as soon as it has the result. */
+    void publishJobTrace(const Job &job, const char *outcome);
+    /** Whole seconds since start(). */
+    uint64_t uptimeSec() const;
     /** Shared end-of-life bookkeeping (mutex_ held): frees the queue
      *  slot and retires the record into the bounded finished history.
      *  Callers notify completeCv_ after unlocking. */
@@ -221,6 +246,7 @@ class Server
     ServerOptions options_;
     SweepEngine engine_;
     ResultCache cache_;
+    uint64_t startUs_ = 0; ///< start() instant (metrics::nowMicros())
     /** Federation (only when options_.peers is non-empty). */
     std::unique_ptr<PeerPool> pool_;
     std::unique_ptr<Coordinator> coordinator_;

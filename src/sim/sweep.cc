@@ -8,9 +8,27 @@
 
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/trace_store.hh"
 
 namespace icfp {
+
+namespace {
+
+/** Per-(bench, scheme) replay-duration series — the ROADMAP's replay
+ *  tail (art/mcf outliers) becomes directly scrapeable. Lookup cost is
+ *  one small string build + map find per multi-millisecond replay. */
+void
+observeReplay(const std::string &bench, CoreKind core, uint64_t micros)
+{
+    metrics::histogram("icfp_replay_duration_us{bench=\"" +
+                           metrics::escapeLabelValue(bench) +
+                           "\",core=\"" + coreKindName(core) + "\"}",
+                       metrics::latencyBucketsUs())
+        .observe(micros);
+}
+
+} // namespace
 
 std::vector<SweepJob>
 expandGrid(const SweepSpec &spec)
@@ -195,8 +213,12 @@ SweepEngine::traceLocked(const TraceKey &key)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = traces_.find(key);
-        if (it != traces_.end())
+        if (it != traces_.end()) {
+            static metrics::Counter &memory_hits =
+                metrics::counter("icfp_trace_memory_hits");
+            memory_hits.inc();
             return *it->second;
+        }
     }
 
     // Look up / generate outside the lock; on a key race the first insert
@@ -222,8 +244,20 @@ SweepEngine::traceLocked(const TraceKey &key)
     if (!trace) {
         if (id.seed)
             spec.workload.seed = *id.seed;
+        const uint64_t t0 = metrics::nowMicros();
         trace = std::make_unique<Trace>(makeBenchTrace(spec, id.insts));
+        // Both ledgers advance together: the per-engine atomic stays
+        // authoritative for this engine's accessors (several engines
+        // can coexist in one process), the registry series aggregates
+        // process-wide for the metrics scrape.
         generations_.fetch_add(1);
+        static metrics::Counter &generations_total =
+            metrics::counter("icfp_trace_generations");
+        generations_total.inc();
+        metrics::histogram("icfp_trace_gen_duration_us{bench=\"" +
+                               metrics::escapeLabelValue(id.bench) + "\"}",
+                           metrics::latencyBucketsUs())
+            .observe(metrics::nowMicros() - t0);
         if (store_)
             store_->store(id, *trace);
     }
@@ -260,8 +294,14 @@ SweepEngine::runOnTrace(const Trace &trace,
         out.bench = bench_label;
         out.variant = variant.label;
         out.core = variant.core;
+        const uint64_t t0 = metrics::nowMicros();
         out.result = simulate(variant.core, variant.config, trace);
         replays_.fetch_add(1);
+        static metrics::Counter &replays_total =
+            metrics::counter("icfp_replays");
+        replays_total.inc();
+        observeReplay(bench_label, variant.core,
+                      metrics::nowMicros() - t0);
     });
     return results;
 }
@@ -269,7 +309,8 @@ SweepEngine::runOnTrace(const Trace &trace,
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
                  std::optional<uint64_t> seed,
-                 const std::atomic<bool> *cancel)
+                 const std::atomic<bool> *cancel,
+                 metrics::SpanLog *spans)
 {
     // Validate every bench name on the calling thread first:
     // findBenchmark is fatal on an unknown name, and exit(1) must not
@@ -293,10 +334,16 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
 
     // Phase 1: generate each distinct golden trace exactly once, in
     // parallel across benches.
+    const uint64_t gen_start = metrics::nowMicros();
     parallelFor(benches.size(), jobs_, [&](size_t i) {
         checkCancel();
         trace(benches[i], insts, seed);
     });
+    const uint64_t gen_end = metrics::nowMicros();
+    if (spans) {
+        spans->add("trace_gen", gen_start, gen_end,
+                   {{"benches", std::to_string(benches.size())}});
+    }
 
     // Phase 2: the grid. Every job only reads its (shared) trace and
     // writes its own preallocated slot, so completion order is free to
@@ -312,10 +359,19 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, uint64_t insts,
         out.bench = job.bench;
         out.variant = job.variant;
         out.core = job.core;
+        const uint64_t t0 = metrics::nowMicros();
         out.result = simulate(job.core, job.config,
                               trace(job.bench, insts, seed));
         replays_.fetch_add(1);
+        static metrics::Counter &replays_total =
+            metrics::counter("icfp_replays");
+        replays_total.inc();
+        observeReplay(job.bench, job.core, metrics::nowMicros() - t0);
     });
+    if (spans) {
+        spans->add("replay", gen_end, metrics::nowMicros(),
+                   {{"rows", std::to_string(jobs.size())}});
+    }
     return results;
 }
 

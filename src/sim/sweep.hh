@@ -158,6 +158,10 @@ unsigned defaultSweepJobs();
 
 class TraceStore; // sim/trace_store.hh
 
+namespace metrics {
+class SpanLog; // common/metrics.hh
+}
+
 /**
  * Thrown by SweepEngine::run() when the caller's cancel flag is
  * observed set. Cancellation is cooperative and checked at row
@@ -219,11 +223,17 @@ class SweepEngine
      * @param cancel optional cooperative cancel flag, polled at row
      *        boundaries; when observed set, run() throws SweepCancelled
      *        (see that class for the guarantees)
+     * @param spans optional span log: when given, the engine records a
+     *        "trace_gen" and a "replay" phase span (the two parallelFor
+     *        blocks) into it — the service daemon's per-job Chrome
+     *        trace rides on this. Purely observational: results and
+     *        artifacts are byte-identical with or without it.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
                                  uint64_t insts,
                                  std::optional<uint64_t> seed = std::nullopt,
-                                 const std::atomic<bool> *cancel = nullptr);
+                                 const std::atomic<bool> *cancel = nullptr,
+                                 metrics::SpanLog *spans = nullptr);
 
     /**
      * Run every variant over one explicit (e.g. file-loaded) trace,

@@ -13,6 +13,7 @@
 
 #include "common/durable_file.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "isa/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -20,6 +21,14 @@ namespace fs = std::filesystem;
 namespace icfp {
 
 namespace {
+
+/** Registry mirrors of stats_ (the scrape surface; stats_ stays the
+ *  per-store accessor several stores in one process rely on). */
+void
+countStoreEvent(const char *name)
+{
+    metrics::counter(std::string("icfp_trace_store_") + name).inc();
+}
 
 constexpr char kStoreMagic[8] = {'I', 'C', 'F', 'P', 'S', 'T', 'R', '1'};
 constexpr const char *kStoreSuffix = ".trc";
@@ -165,6 +174,7 @@ TraceStore::load(const TraceId &id)
     const fs::path path = fs::path(dir_) / id.fileName();
     const std::optional<std::string> bytes = readFileBytes(path);
     if (!bytes) {
+        countStoreEvent("misses");
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
         return std::nullopt;
@@ -188,6 +198,8 @@ TraceStore::load(const TraceId &id)
         // Truncated, bit-flipped, or a colliding/renamed file: drop it so
         // the regenerated trace can be stored cleanly.
         removeQuietly(path);
+        countStoreEvent("corrupt");
+        countStoreEvent("misses");
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.corrupt;
         ++stats_.misses;
@@ -203,6 +215,7 @@ TraceStore::load(const TraceId &id)
     std::istringstream is(std::move(*bytes));
     is.seekg(static_cast<std::streamoff>(header));
     Trace trace = readTrace(is);
+    countStoreEvent("hits");
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
     return trace;
@@ -237,6 +250,7 @@ TraceStore::store(const TraceId &id, const Trace &trace)
         return;
     }
 
+    countStoreEvent("writes");
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.writes;
     if (max_bytes_ > 0)
@@ -289,6 +303,7 @@ TraceStore::evictLocked(const std::string &keep_file)
         removeQuietly(e.path);
         total -= e.size;
         ++stats_.evictions;
+        countStoreEvent("evictions");
     }
 }
 

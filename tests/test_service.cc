@@ -21,11 +21,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include <sys/socket.h>
@@ -33,6 +35,7 @@
 #include <unistd.h>
 
 #include "common/fault_inject.hh"
+#include "common/metrics.hh"
 #include "service/client.hh"
 #include "service/federation/peer_pool.hh"
 #include "service/federation/transport.hh"
@@ -1567,6 +1570,292 @@ TEST_F(FederationFaultTest, DispatchAndCollectFaultsRecoverByteIdentically)
                               "json"));
     }
     EXPECT_EQ(fault::firedCount("federation.collect"), 1u);
+
+    drain(*coord);
+    drain(*peer1.server);
+    drain(*peer2.server);
+}
+
+// --------------------------------------------------------- observability
+
+/** Value of the sample named exactly @p name in an exposition text,
+ *  or -1 if absent. */
+int64_t
+sampleValue(const std::string &text, const std::string &name)
+{
+    for (const metrics::ExpositionFamily &family :
+         metrics::parseExposition(text)) {
+        for (const auto &[sample, value] : family.samples) {
+            if (sample == name)
+                return value;
+        }
+    }
+    return -1;
+}
+
+/** One complete ("X") event from a Chrome trace document. */
+struct TraceEvent
+{
+    std::string name;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+};
+
+/** Line-parse chromeTraceJson output (one event per line). */
+std::vector<TraceEvent>
+parseCompleteEvents(const std::string &json)
+{
+    std::vector<TraceEvent> events;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("{\"name\":\"", 0) != 0 ||
+            line.find("\"ph\":\"X\"") == std::string::npos)
+            continue;
+        TraceEvent event;
+        const size_t name_end = line.find('"', 9);
+        event.name = line.substr(9, name_end - 9);
+        const size_t ts = line.find("\"ts\":");
+        const size_t dur = line.find("\"dur\":");
+        EXPECT_NE(ts, std::string::npos) << line;
+        EXPECT_NE(dur, std::string::npos) << line;
+        event.ts = std::strtoull(line.c_str() + ts + 5, nullptr, 10);
+        event.dur = std::strtoull(line.c_str() + dur + 6, nullptr, 10);
+        events.push_back(std::move(event));
+    }
+    return events;
+}
+
+TEST_F(ServiceTest, MetricsFrameAnswersTextAndJsonAndRejectsBadArgs)
+{
+    Server server(options());
+    server.start();
+
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("gzip", "in-order,icfp", 2000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    ASSERT_EQ(client.readFrame().type(), "result");
+
+    // Default scrape: Prometheus text with TYPE lines, and the job the
+    // daemon just ran is visible in the counters.
+    const Frame text_reply = client.request(Frame("metrics"));
+    ASSERT_EQ(text_reply.type(), "metrics");
+    EXPECT_TRUE(text_reply.uintField("uptime_sec").has_value());
+    EXPECT_EQ(text_reply.stringField("format"), "text");
+    const std::string text = text_reply.stringField("payload");
+    EXPECT_NE(text.find("# TYPE icfp_jobs_completed counter"),
+              std::string::npos);
+    // The registry is process-global (it aggregates across every test
+    // in this binary), so assert floors, not exact values.
+    EXPECT_GE(sampleValue(text, "icfp_jobs_completed"), 1);
+    EXPECT_GE(sampleValue(text, "icfp_jobs_submitted"), 1);
+    EXPECT_GE(sampleValue(text, "icfp_replays"), 1);
+    EXPECT_GE(sampleValue(text, "icfp_trace_generations"), 1);
+    EXPECT_NE(text.find("icfp_job_duration_us_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    // The exposition is parseable and render-stable (a valid document).
+    EXPECT_EQ(metrics::renderExpositionText(metrics::parseExposition(text)),
+              text);
+
+    // JSON form: the same samples as a flat object.
+    Frame as_json("metrics");
+    as_json.addString("format", "json");
+    const Frame json_reply = client.request(as_json);
+    ASSERT_EQ(json_reply.type(), "metrics");
+    EXPECT_EQ(json_reply.stringField("format"), "json");
+    const std::string json = json_reply.stringField("payload");
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"icfp_jobs_completed\":"), std::string::npos);
+
+    // Bad arguments are explicit errors, and the session survives.
+    Frame bad_format("metrics");
+    bad_format.addString("format", "xml");
+    EXPECT_EQ(client.request(bad_format).type(), "error");
+    Frame bad_scope("metrics");
+    bad_scope.addString("scope", "galaxy");
+    EXPECT_EQ(client.request(bad_scope).type(), "error");
+    EXPECT_EQ(client.request(Frame("ping")).type(), "pong");
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, PingAndStatusCarryUptimeAndLifetimeCounters)
+{
+    Server server(options());
+    server.start();
+
+    ServiceClient client(socket_);
+    const Frame idle_pong = client.request(Frame("ping"));
+    ASSERT_EQ(idle_pong.type(), "pong");
+    ASSERT_TRUE(idle_pong.uintField("uptime_sec").has_value());
+    EXPECT_LT(idle_pong.uintField("uptime_sec", 9999), 3600u);
+    EXPECT_EQ(idle_pong.uintField("completed", 99), 0u);
+    EXPECT_EQ(idle_pong.uintField("failed", 99), 0u);
+    EXPECT_EQ(idle_pong.uintField("cancelled", 99), 0u);
+
+    const Frame ack = client.request(
+        submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    ASSERT_EQ(client.readFrame().type(), "result");
+
+    // Lifetime counters are per-daemon (stats_), so exact values hold.
+    const Frame pong = client.request(Frame("ping"));
+    EXPECT_EQ(pong.uintField("completed", 0), 1u);
+    EXPECT_EQ(pong.uintField("failed", 99), 0u);
+    const Frame status = client.request(Frame("status"));
+    ASSERT_EQ(status.type(), "status");
+    EXPECT_TRUE(status.uintField("uptime_sec").has_value());
+    EXPECT_EQ(status.uintField("completed", 0), 1u);
+    EXPECT_EQ(status.uintField("failed", 99), 0u);
+    EXPECT_EQ(status.uintField("cancelled", 99), 0u);
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, SubmitTraceRefusedWithoutJobTraceDir)
+{
+    Server server(options()); // no jobTraceDir configured
+    server.start();
+
+    ServiceClient client(socket_);
+    Frame submit = submitFrame("gzip", "in-order", 2000, true);
+    submit.addUint("trace", 1);
+    const Frame refused = client.request(submit);
+    ASSERT_EQ(refused.type(), "error");
+    EXPECT_NE(refused.stringField("message").find("tracing unavailable"),
+              std::string::npos);
+
+    // Misconfiguration is per-request: the same submit without the
+    // trace flag runs normally on the same session.
+    const Frame ack = client.request(
+        submitFrame("gzip", "in-order", 2000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    EXPECT_FALSE(ack.has("trace_file"));
+    EXPECT_EQ(client.readFrame().type(), "result");
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(ServiceTest, JobTracePublishedValidAndArtifactUnchanged)
+{
+    // One engine worker: the job's phases are strictly serial, so the
+    // published spans must be monotonic AND non-overlapping.
+    ServerOptions opts = options(1, 4);
+    opts.jobTraceDir = dir_ + "/job-traces";
+    Server server(opts);
+    server.start();
+
+    ServiceClient client(socket_);
+    Frame submit = submitFrame("mcf,gzip", "in-order,icfp", 3000, true);
+    submit.addUint("trace", 1);
+    const Frame ack = client.request(submit);
+    ASSERT_EQ(ack.type(), "submitted") << ack.stringField("message");
+    const std::string trace_file = ack.stringField("trace_file");
+    ASSERT_FALSE(trace_file.empty());
+    const Frame result = client.readFrame();
+    ASSERT_EQ(result.type(), "result");
+
+    // Tracing is out-of-band: the traced artifact is byte-identical to
+    // a direct sweep (which other tests pin as the untraced bytes).
+    EXPECT_EQ(result.stringField("payload"),
+              directSweep("mcf,gzip", "in-order,icfp", 3000));
+
+    // The trace is already durable when the result frame arrives.
+    ASSERT_TRUE(fs::exists(trace_file));
+    std::ifstream in(trace_file);
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string json = content.str();
+
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\":\"done\""), std::string::npos);
+    EXPECT_NE(json.find("icfp-sim job " +
+                        std::to_string(ack.uintField("job", 0))),
+              std::string::npos);
+
+    const std::vector<TraceEvent> events = parseCompleteEvents(json);
+    std::vector<std::string> names;
+    for (const TraceEvent &event : events)
+        names.push_back(event.name);
+    for (const char *phase : {"queue_wait", "cache_probe", "trace_gen",
+                              "replay", "report_emit"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), phase),
+                  names.end())
+            << phase;
+    }
+    // Monotonic, non-overlapping phase spans.
+    for (size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].ts, events[i - 1].ts) << names[i];
+        EXPECT_GE(events[i].ts, events[i - 1].ts + events[i - 1].dur)
+            << names[i - 1] << " overlaps " << names[i];
+    }
+
+    // A warm repeat is traced too, with its own file and the cache-hit
+    // outcome recorded in the metadata.
+    const Frame ack2 = client.request(submit);
+    ASSERT_EQ(ack2.type(), "submitted");
+    const std::string trace_file2 = ack2.stringField("trace_file");
+    EXPECT_NE(trace_file2, trace_file);
+    ASSERT_EQ(client.readFrame().type(), "result");
+    ASSERT_TRUE(fs::exists(trace_file2));
+    std::ifstream in2(trace_file2);
+    std::stringstream content2;
+    content2 << in2.rdbuf();
+    EXPECT_NE(content2.str().find("\"outcome\":\"done (cache hit)\""),
+              std::string::npos);
+    EXPECT_NE(content2.str().find("cache_probe"), std::string::npos);
+
+    server.requestDrain();
+    server.join();
+}
+
+TEST_F(FederationTest, FleetMetricsRollupLabelsPeerSamples)
+{
+    Peer peer1 = makePeer("peer1");
+    Peer peer2 = makePeer("peer2");
+    std::unique_ptr<Server> coord =
+        makeCoordinator({peer1.endpoint, peer2.endpoint}, 2);
+
+    ServiceClient client(socket_);
+    const Frame ack = client.request(
+        submitFrame("mcf,gzip", "in-order,icfp", 3000, true));
+    ASSERT_EQ(ack.type(), "submitted");
+    ASSERT_EQ(client.readFrame().type(), "result");
+
+    // scope=local answers only for this daemon: no peer-labelled job
+    // counters (the peer label only otherwise appears on the pool's
+    // RTT histograms).
+    Frame local("metrics");
+    local.addString("scope", "local");
+    const Frame local_reply = client.request(local);
+    ASSERT_EQ(local_reply.type(), "metrics");
+    EXPECT_EQ(local_reply.stringField("payload")
+                  .find("icfp_jobs_submitted{peer="),
+              std::string::npos);
+
+    // The fleet rollup scrapes both peers over their real transports
+    // and labels every peer sample with its spec.
+    const Frame fleet_reply = client.request(Frame("metrics"));
+    ASSERT_EQ(fleet_reply.type(), "metrics");
+    const std::string fleet = fleet_reply.stringField("payload");
+    for (const std::string &spec : {peer1.endpoint, peer2.endpoint}) {
+        EXPECT_NE(fleet.find("icfp_jobs_submitted{peer=\"" + spec +
+                             "\"}"),
+                  std::string::npos)
+            << spec;
+        EXPECT_NE(fleet.find("icfp_replays{peer=\"" + spec + "\"}"),
+                  std::string::npos)
+            << spec;
+    }
+    // The rollup is itself a valid, deterministic exposition.
+    EXPECT_EQ(
+        metrics::renderExpositionText(metrics::parseExposition(fleet)),
+        fleet);
 
     drain(*coord);
     drain(*peer1.server);

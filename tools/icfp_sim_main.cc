@@ -26,6 +26,13 @@
  *   result  --socket PATH --job N     fetch one job's artifact
  *   cancel  --socket PATH --job N     cancel a queued or running job
  *   ping    --socket PATH        handshake + round-trip latency check
+ *   metrics --socket PATH [--json]    scrape the daemon's metrics
+ *                                registry (Prometheus text exposition,
+ *                                or the flat JSON form with --json); on
+ *                                a federation coordinator the scrape is
+ *                                the fleet rollup — every healthy
+ *                                peer's metrics merged in with a
+ *                                peer="<spec>" label
  *
  * Common options:
  *   --insts N        dynamic instruction budget (default 200000)
@@ -73,6 +80,16 @@
  *                    backoff (daemon restarting / not up yet)
  *   --json           status: dump the raw status frame (machine-
  *                    readable, stable field names)
+ *                    metrics: the flat JSON exposition instead of the
+ *                    Prometheus text format
+ *   --job-trace-dir DIR  serve: publish a Chrome-trace JSON of every
+ *                    traced job's phase spans (queue wait, cache probe,
+ *                    trace gen, replay, report emit / federation) as
+ *                    DIR/job-<id>.trace.json — open in chrome://tracing
+ *                    or Perfetto. Observability only: artifacts stay
+ *                    byte-identical with tracing on.
+ *   --trace          submit: request a per-job trace (errors loudly if
+ *                    the daemon has no --job-trace-dir)
  *   submit also honors --suite/--benches/--cores/--insts/--seed and
  *   --format csv|json (default csv); the fetched artifact is
  *   byte-identical to `icfp-sim sweep` with the same options.
@@ -176,7 +193,11 @@ struct Options
     std::string listenTcp; ///< extra TCP listener, "host:port"
     uint64_t sliceDeadlineSec = 0;
     bool sliceDeadlineSet = false;
-    bool statusJson = false; ///< status --json: raw frame dump
+    bool statusJson = false; ///< status/metrics --json: machine form
+
+    // Observability options.
+    std::optional<std::string> jobTraceDir; ///< serve --job-trace-dir
+    bool trace = false;                     ///< submit --trace
 
     // Perf options.
     bool quick = false;
@@ -196,7 +217,7 @@ usage()
                  "usage: icfp-sim "
                  "<list|suites|cores|run|compare|suite|sweep|merge|perf|"
                  "trace|disasm|version|serve|submit|status|result|cancel|"
-                 "ping> [options]\n"
+                 "ping|metrics> [options]\n"
                  "see the file comment in tools/icfp_sim_main.cc for the "
                  "option list\n");
 }
@@ -326,6 +347,18 @@ parseArgs(int argc, char **argv, Options *opt)
             opt->sliceDeadlineSet = true;
         } else if (arg == "--json") {
             opt->statusJson = true;
+        } else if (arg == "--job-trace-dir") {
+            opt->jobTraceDir = next();
+            if (opt->jobTraceDir->empty()) {
+                // Same guard as --trace-dir/--cache-dir: an empty dir
+                // would scatter trace files into the CWD.
+                std::fprintf(stderr,
+                             "--job-trace-dir requires a non-empty "
+                             "directory\n");
+                return false;
+            }
+        } else if (arg == "--trace") {
+            opt->trace = true;
         } else if (arg == "--retries") {
             opt->retries =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
@@ -947,6 +980,7 @@ cmdServe(const Options &opt)
     sopt.listenTcp = opt.listenTcp;
     sopt.peers = splitCommaList(opt.peers);
     sopt.sliceDeadlineSec = opt.sliceDeadlineSec;
+    sopt.jobTraceDir = opt.jobTraceDir;
     service::Server server(std::move(sopt));
 
     // Handlers first: a supervisor's SIGTERM racing startup must drain,
@@ -1034,6 +1068,8 @@ cmdSubmit(const Options &opt)
         request.addString("format", format);
         if (opt.deadlineSecSet)
             request.addUint("deadline_sec", opt.deadlineSec);
+        if (opt.trace)
+            request.addUint("trace", 1);
         if (opt.wait)
             request.addUint("wait", 1);
 
@@ -1054,10 +1090,13 @@ cmdSubmit(const Options &opt)
             return 1;
         }
         const uint64_t job = response.uintField("job", 0);
-        std::fprintf(stderr, "submit: job %llu (fp=%s, %llu rows)\n",
+        const std::string trace_file = response.stringField("trace_file");
+        std::fprintf(stderr, "submit: job %llu (fp=%s, %llu rows)%s%s\n",
                      (unsigned long long)job,
                      response.stringField("fp").c_str(),
-                     (unsigned long long)response.uintField("rows", 0));
+                     (unsigned long long)response.uintField("rows", 0),
+                     trace_file.empty() ? "" : " trace=",
+                     trace_file.c_str());
         if (!opt.wait)
             return 0;
 
@@ -1257,6 +1296,29 @@ cmdPing(const Options &opt)
 }
 
 int
+cmdMetrics(const Options &opt)
+{
+    try {
+        service::ServiceClient client(opt.socket, clientOptions(opt));
+        service::Frame request("metrics");
+        request.addString("format", opt.statusJson ? "json" : "text");
+        const service::Frame response = client.request(request);
+        if (response.type() != "metrics") {
+            std::fprintf(stderr, "metrics: %s\n",
+                         response.stringField("message", "unexpected '" +
+                                              response.type() +
+                                              "' response").c_str());
+            return 1;
+        }
+        std::fputs(response.stringField("payload").c_str(), stdout);
+        return 0;
+    } catch (const service::ProtocolError &e) {
+        std::fprintf(stderr, "metrics: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
 cmdDisasm(const Options &opt)
 {
     const Trace trace = makeTrace(opt);
@@ -1317,7 +1379,8 @@ main(int argc, char **argv)
     const bool service_command =
         opt.command == "serve" || opt.command == "submit" ||
         opt.command == "status" || opt.command == "result" ||
-        opt.command == "cancel" || opt.command == "ping";
+        opt.command == "cancel" || opt.command == "ping" ||
+        opt.command == "metrics";
     const bool client_command = service_command && opt.command != "serve";
     if (service_command && opt.socket.empty()) {
         std::fprintf(stderr, "%s: requires --socket PATH\n",
@@ -1327,7 +1390,8 @@ main(int argc, char **argv)
     if (!opt.socket.empty() && !service_command) {
         std::fprintf(stderr,
                      "--socket only applies to the service commands "
-                     "(serve, submit, status, result, cancel, ping)\n");
+                     "(serve, submit, status, result, cancel, ping, "
+                     "metrics)\n");
         return 1;
     }
     if (opt.wait && opt.command != "submit") {
@@ -1358,8 +1422,18 @@ main(int argc, char **argv)
                      "--slice-deadline-sec only applies to 'serve'\n");
         return 1;
     }
-    if (opt.statusJson && opt.command != "status") {
-        std::fprintf(stderr, "--json only applies to 'status'\n");
+    if (opt.statusJson && opt.command != "status" &&
+        opt.command != "metrics") {
+        std::fprintf(stderr,
+                     "--json only applies to 'status' and 'metrics'\n");
+        return 1;
+    }
+    if (opt.jobTraceDir && opt.command != "serve") {
+        std::fprintf(stderr, "--job-trace-dir only applies to 'serve'\n");
+        return 1;
+    }
+    if (opt.trace && opt.command != "submit") {
+        std::fprintf(stderr, "--trace only applies to 'submit'\n");
         return 1;
     }
     if (opt.cacheDir && opt.command != "serve") {
@@ -1401,7 +1475,8 @@ main(int argc, char **argv)
     }
     if (opt.out &&
         (opt.command == "serve" || opt.command == "ping" ||
-         opt.command == "status" || opt.command == "cancel")) {
+         opt.command == "status" || opt.command == "cancel" ||
+         opt.command == "metrics")) {
         std::fprintf(stderr,
                      "--out only applies to 'submit' and 'result' among "
                      "the service commands\n");
@@ -1470,6 +1545,8 @@ main(int argc, char **argv)
         return cmdCancel(opt);
     if (opt.command == "ping")
         return cmdPing(opt);
+    if (opt.command == "metrics")
+        return cmdMetrics(opt);
     usage();
     return 1;
 }

@@ -9,7 +9,11 @@ Inputs are the machine-readable artifacts the harnesses already emit:
     one bar per scheme;
   * ``BENCH_perf.json`` files (``icfp-sim perf``) -> simulator throughput
     per scheme; several files plot as a trajectory in argument order
-    (the before/after ledger of the perf work), one file as bars.
+    (the before/after ledger of the perf work), one file as bars;
+  * metrics JSON dumps (``icfp-sim metrics --json``) -> a per-scheme
+    replay-latency histogram from the ``icfp_replay_duration_us``
+    bucket samples, one bar group per latency bucket, one bar per
+    scheme (bench and peer labels are summed away).
 
 Standard library only (CI runs this right after the smoke sweeps), and
 deterministic: the same artifact bytes render the same SVG bytes.
@@ -17,7 +21,8 @@ deterministic: the same artifact bytes render the same SVG bytes.
 Usage:
   python3 tools/plot_artifacts.py --out-dir plots \
       --sweep-csv build/sweep.csv [--sweep-csv ...] \
-      --perf-json build/BENCH_perf.json [--perf-json ...]
+      --perf-json build/BENCH_perf.json [--perf-json ...] \
+      --metrics-json build/metrics.json [--metrics-json ...]
 """
 
 import argparse
@@ -343,6 +348,143 @@ def plot_perf(paths, out_dir):
     svg.write(out)
 
 
+def parse_sample_name(name):
+    """``base{k="v",...}`` -> (base, {k: v}); label values may contain
+    escaped quotes/backslashes (escapeLabelValue's format)."""
+    brace = name.find("{")
+    if brace < 0:
+        return name, {}
+    base, labels, body = name[:brace], {}, name[brace + 1:-1]
+    i = 0
+    while i < len(body):
+        eq = body.index('="', i)
+        key = body[i:eq]
+        j = eq + 2
+        value = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                j += 1
+            value.append(body[j])
+            j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return base, labels
+
+
+def fmt_le(le):
+    """A bucket bound in microseconds -> a human axis label."""
+    if le == "+Inf":
+        return "+Inf"
+    us = int(le)
+    if us >= 1000000:
+        return f"≤{us // 1000000}s" if us % 1000000 == 0 \
+            else f"≤{us / 1000000:g}s"
+    if us >= 1000:
+        return f"≤{us // 1000}ms" if us % 1000 == 0 \
+            else f"≤{us / 1000:g}ms"
+    return f"≤{us}µs"
+
+
+def plot_replay_latency(path, out_dir):
+    """Metrics JSON dump -> per-scheme replay-latency histogram."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: not a flat metrics JSON object")
+
+    # Cumulative bucket counts summed over bench (and, in a fleet
+    # rollup, peer) labels; cumulative sums stay cumulative under +.
+    cumulative, les = {}, set()
+    for name, value in data.items():
+        base, labels = parse_sample_name(name)
+        if base != "icfp_replay_duration_us_bucket":
+            continue
+        core, le = labels.get("core", "?"), labels.get("le")
+        if le is None:
+            continue
+        cumulative[(core, le)] = cumulative.get((core, le), 0) + int(value)
+        les.add(le)
+    if not cumulative:
+        print(f"plot_artifacts: {path}: no icfp_replay_duration_us "
+              "bucket samples; skipping replay-latency plot",
+              file=sys.stderr)
+        return
+
+    def le_key(le):
+        return float("inf") if le == "+Inf" else float(le)
+
+    bounds = sorted(les, key=le_key)
+    cores = sorted({core for core, _ in cumulative})
+    if len(cores) > len(PALETTE):
+        raise SystemExit(f"{path}: {len(cores)} schemes exceeds the "
+                         f"{len(PALETTE)}-slot palette")
+
+    # Cumulative -> per-bucket, dropping empty trailing buckets keeps
+    # the chart honest about where latencies actually land.
+    counts = {}
+    hi = 0
+    for core in cores:
+        prev = 0
+        for le in bounds:
+            cum = cumulative.get((core, le), prev)
+            counts[(core, le)] = max(cum - prev, 0)
+            hi = max(hi, counts[(core, le)])
+            prev = cum
+    while len(bounds) > 1 and all(
+            counts.get((core, bounds[-1]), 0) == 0 for core in cores):
+        bounds.pop()
+
+    bar_w, gap, group_pad = 9, 2, 14
+    group_w = len(cores) * (bar_w + gap) - gap + group_pad
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 56, 96
+    plot_w = len(bounds) * group_w
+    plot_h = 300
+    svg = Svg(margin_l + plot_w + margin_r, margin_t + plot_h + margin_b)
+
+    title = os.path.splitext(os.path.basename(path))[0]
+    svg.text(margin_l, 24, f"replay latency by scheme — {title}", 15, INK)
+    svg.text(margin_l, 42, "replays per duration bucket "
+             "(icfp_replay_duration_us; benches and peers summed)",
+             11, INK_SOFT)
+
+    ticks = nice_ticks(0.0, hi * 1.1 if hi else 1.0)
+    span = max(ticks) or 1.0
+
+    def y_of(v):
+        return margin_t + plot_h * (1.0 - v / span)
+
+    for t in ticks:
+        svg.line(margin_l, y_of(t), margin_l + plot_w, y_of(t),
+                 AXIS if t == 0 else GRID, 1)
+        svg.text(margin_l - 6, y_of(t) + 4, f"{t:g}", 11, INK_SOFT, "end")
+    svg.text(16, margin_t + plot_h / 2, "replays", 11, INK_SOFT,
+             "middle", rotate=-90)
+
+    for bi, le in enumerate(bounds):
+        gx = margin_l + bi * group_w + group_pad / 2
+        for ci, core in enumerate(cores):
+            v = counts.get((core, le), 0)
+            if v == 0:
+                continue
+            x = gx + ci * (bar_w + gap)
+            svg.rect(x, y_of(v), bar_w, max(y_of(0) - y_of(v), 1.0),
+                     PALETTE[ci], rx=2,
+                     title=f"{core} · {fmt_le(le)}: {v} replays")
+        svg.text(gx + (group_w - group_pad) / 2, margin_t + plot_h + 14,
+                 fmt_le(le), 11, INK_SOFT, "end", rotate=-45)
+
+    lx, ly = margin_l, margin_t + plot_h + margin_b - 18
+    for ci, core in enumerate(cores):
+        svg.rect(lx, ly - 9, 10, 10, PALETTE[ci], rx=2)
+        svg.text(lx + 14, ly, core, 11, INK)
+        lx += 22 + 7 * len(core)
+
+    out = os.path.join(out_dir, f"{title}_replay_latency.svg")
+    svg.write(out)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep-csv", action="append", default=[],
@@ -350,17 +492,23 @@ def main():
     parser.add_argument("--perf-json", action="append", default=[],
                         help="BENCH_perf.json artifact (repeatable; "
                              "several plot as a trajectory)")
+    parser.add_argument("--metrics-json", action="append", default=[],
+                        help="metrics JSON dump from "
+                             "'icfp-sim metrics --json' (repeatable)")
     parser.add_argument("--out-dir", default="plots",
                         help="output directory for SVGs")
     args = parser.parse_args()
-    if not args.sweep_csv and not args.perf_json:
-        parser.error("give at least one --sweep-csv or --perf-json")
+    if not args.sweep_csv and not args.perf_json and not args.metrics_json:
+        parser.error("give at least one --sweep-csv, --perf-json, or "
+                     "--metrics-json")
 
     os.makedirs(args.out_dir, exist_ok=True)
     for path in args.sweep_csv:
         plot_speedups(path, args.out_dir)
     if args.perf_json:
         plot_perf(args.perf_json, args.out_dir)
+    for path in args.metrics_json:
+        plot_replay_latency(path, args.out_dir)
 
 
 if __name__ == "__main__":
